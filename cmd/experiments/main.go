@@ -1,0 +1,43 @@
+// Command experiments reproduces every table and figure of the paper's
+// evaluation, printing paper-versus-measured rows.
+//
+// Usage:
+//
+//	experiments              # run everything in paper order
+//	experiments -run table2  # run one experiment
+//	experiments -list        # list experiment identifiers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment identifier to run (default: all)")
+	list := flag.Bool("list", false, "list available experiment identifiers")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *run != "" {
+		report, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; use -list\n", *run)
+			os.Exit(2)
+		}
+		fmt.Print(report.Format())
+		return
+	}
+	for _, report := range experiments.All() {
+		fmt.Print(report.Format())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,219 @@
+// Command qsrmine mines frequent spatial patterns from a geographic
+// dataset file (JSON with WKT geometries; see dataset.WriteJSON) or from
+// the built-in Porto Alegre sample.
+//
+// Usage:
+//
+//	qsrmine -sample -minsup 0.5 -alg apriori-kc+
+//	qsrmine -data city.json -minsup 0.1 -alg apriori -rules -minconf 0.7
+//	qsrmine -table transactions.csv -minsup 0.05
+//	qsrmine -data city.json -deps "contains_street:contains_illuminationPoint,..."
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	qsrmine "repro"
+	"repro/internal/mining"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qsrmine:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataPath  = flag.String("data", "", "dataset JSON file (WKT geometries)")
+		tablePath = flag.String("table", "", "transaction table CSV file (refID,item,item,...)")
+		sample    = flag.Bool("sample", false, "use the built-in Porto Alegre sample scene")
+		algName   = flag.String("alg", "apriori-kc+", "algorithm: apriori, apriori-kc, apriori-kc+")
+		minsup    = flag.Float64("minsup", 0.5, "relative minimum support in (0, 1]")
+		depsFlag  = flag.String("deps", "", "dependency pairs Φ: a:b,c:d,... (item names)")
+		rules     = flag.Bool("rules", false, "generate association rules")
+		minconf   = flag.Float64("minconf", 0.7, "minimum rule confidence")
+		maxShow   = flag.Int("top", 30, "maximum itemsets/rules to print (0 = all)")
+		closed    = flag.Bool("closed", false, "keep only closed frequent itemsets")
+		maximal   = flag.Bool("maximal", false, "keep only maximal frequent itemsets")
+		format    = flag.String("format", "text", "output format: text or json")
+		profile   = flag.Bool("profile", false, "print the transaction-table profile before mining")
+	)
+	flag.Parse()
+
+	alg, err := qsrmine.ParseAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	deps, err := parseDeps(*depsFlag)
+	if err != nil {
+		return err
+	}
+	cfg := qsrmine.Config{
+		Algorithm:     alg,
+		MinSupport:    *minsup,
+		Dependencies:  deps,
+		GenerateRules: *rules,
+		MinConfidence: *minconf,
+	}
+	switch {
+	case *closed && *maximal:
+		return fmt.Errorf("choose at most one of -closed and -maximal")
+	case *closed:
+		cfg.PostFilter = qsrmine.ClosedFilter
+	case *maximal:
+		cfg.PostFilter = qsrmine.MaximalFilter
+	}
+
+	var out *qsrmine.Outcome
+	switch {
+	case *sample:
+		out, err = qsrmine.Run(qsrmine.PortoAlegreScene(), cfg)
+	case *dataPath != "":
+		ds, loadErr := qsrmine.LoadDataset(*dataPath)
+		if loadErr != nil {
+			return loadErr
+		}
+		out, err = qsrmine.Run(ds, cfg)
+	case *tablePath != "":
+		table, loadErr := qsrmine.LoadTable(*tablePath)
+		if loadErr != nil {
+			return loadErr
+		}
+		out, err = qsrmine.RunTable(table, cfg)
+	default:
+		return fmt.Errorf("provide -data FILE, -table FILE, or -sample")
+	}
+	if err != nil {
+		return err
+	}
+	if *profile && *format != "json" {
+		fmt.Println("-- table profile --")
+		fmt.Print(qsrmine.ProfileTable(out.Table).Format())
+		fmt.Println()
+	}
+	if *format == "json" {
+		return writeJSON(os.Stdout, alg.String(), out, *rules)
+	}
+	if *format != "text" {
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
+
+	res := out.Result
+	fmt.Printf("algorithm:            %s\n", alg)
+	fmt.Printf("transactions:         %d\n", res.NumTransactions)
+	fmt.Printf("minimum support:      %.1f%% (count %d)\n", *minsup*100, res.MinSupportCount)
+	fmt.Printf("frequent itemsets:    %d (size >= 2: %d, largest %d)\n",
+		len(res.Frequent), res.NumFrequent(2), res.MaxLen())
+	fmt.Printf("pruned dependencies:  %d\n", res.PrunedDeps)
+	fmt.Printf("pruned same-feature:  %d\n", res.PrunedSameFeature)
+	fmt.Printf("mining time:          %v\n", res.Duration)
+	fmt.Println()
+
+	shown := 0
+	for _, f := range res.Frequent {
+		if len(f.Items) < 2 {
+			continue
+		}
+		if *maxShow > 0 && shown >= *maxShow {
+			fmt.Printf("... (%d more)\n", res.NumFrequent(2)-shown)
+			break
+		}
+		fmt.Printf("  %-70s support %d\n", f.Items.Format(out.DB.Dict), f.Support)
+		shown++
+	}
+
+	if *rules {
+		fmt.Printf("\nassociation rules (confidence >= %.0f%%): %d\n", *minconf*100, len(out.Rules))
+		for i, r := range out.Rules {
+			if *maxShow > 0 && i >= *maxShow {
+				fmt.Printf("... (%d more)\n", len(out.Rules)-i)
+				break
+			}
+			fmt.Printf("  %-70s conf %.2f lift %.2f sup %.2f\n",
+				r.Format(out.DB.Dict), r.Confidence, r.Lift, r.Support)
+		}
+	}
+	return nil
+}
+
+// parseDeps parses "a:b,c:d" into Φ pairs (":" separates the pair so
+// that "attr=value" item names stay unambiguous).
+func parseDeps(s string) ([]mining.Pair, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var deps []mining.Pair
+	for _, part := range strings.Split(s, ",") {
+		ab := strings.SplitN(part, ":", 2)
+		if len(ab) != 2 || ab[0] == "" || ab[1] == "" {
+			return nil, fmt.Errorf("bad dependency %q (want itemA:itemB)", part)
+		}
+		deps = append(deps, mining.Pair{A: ab[0], B: ab[1]})
+	}
+	return deps, nil
+}
+
+// jsonOutput is the machine-readable result schema.
+type jsonOutput struct {
+	Algorithm         string        `json:"algorithm"`
+	Transactions      int           `json:"transactions"`
+	MinSupportCount   int           `json:"minSupportCount"`
+	PrunedDeps        int           `json:"prunedDependencies"`
+	PrunedSameFeature int           `json:"prunedSameFeature"`
+	DurationMicros    int64         `json:"miningMicros"`
+	Frequent          []jsonItemset `json:"frequent"`
+	Rules             []jsonRule    `json:"rules,omitempty"`
+}
+
+type jsonItemset struct {
+	Items   []string `json:"items"`
+	Support int      `json:"support"`
+}
+
+type jsonRule struct {
+	Antecedent []string `json:"antecedent"`
+	Consequent []string `json:"consequent"`
+	Support    float64  `json:"support"`
+	Confidence float64  `json:"confidence"`
+	Lift       float64  `json:"lift"`
+}
+
+// writeJSON emits the outcome as one JSON document.
+func writeJSON(w io.Writer, alg string, out *qsrmine.Outcome, withRules bool) error {
+	res := out.Result
+	jo := jsonOutput{
+		Algorithm:         alg,
+		Transactions:      res.NumTransactions,
+		MinSupportCount:   res.MinSupportCount,
+		PrunedDeps:        res.PrunedDeps,
+		PrunedSameFeature: res.PrunedSameFeature,
+		DurationMicros:    res.Duration.Microseconds(),
+	}
+	for _, f := range res.Frequent {
+		if len(f.Items) < 2 {
+			continue
+		}
+		jo.Frequent = append(jo.Frequent, jsonItemset{Items: f.Items.Names(out.DB.Dict), Support: f.Support})
+	}
+	if withRules {
+		for _, r := range out.Rules {
+			jo.Rules = append(jo.Rules, jsonRule{
+				Antecedent: r.Antecedent.Names(out.DB.Dict),
+				Consequent: r.Consequent.Names(out.DB.Dict),
+				Support:    r.Support,
+				Confidence: r.Confidence,
+				Lift:       r.Lift,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jo)
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	qsrmine "repro"
+)
+
+func TestParseDeps(t *testing.T) {
+	deps, err := parseDeps("a:b,contains_street:contains_illuminationPoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 2 || deps[0].A != "a" || deps[0].B != "b" ||
+		deps[1].A != "contains_street" {
+		t.Errorf("deps = %+v", deps)
+	}
+	// Item names containing '=' work because ':' separates pairs.
+	deps, err = parseDeps("murderRate=high:contains_slum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deps[0].A != "murderRate=high" {
+		t.Errorf("attr item dep = %+v", deps[0])
+	}
+	if got, err := parseDeps(""); err != nil || got != nil {
+		t.Error("empty spec must be a nil no-op")
+	}
+	for _, bad := range []string{"justoneitem", "a:", ":b", "a:b,,"} {
+		if _, err := parseDeps(bad); err == nil {
+			t.Errorf("parseDeps(%q) should fail", bad)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	out, err := qsrmine.RunTable(qsrmine.Table2Reconstruction(), qsrmine.Config{
+		Algorithm:     qsrmine.AprioriKCPlus,
+		MinSupport:    0.5,
+		GenerateRules: true,
+		MinConfidence: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, "apriori-kc+", out, true); err != nil {
+		t.Fatal(err)
+	}
+	var decoded jsonOutput
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if decoded.Algorithm != "apriori-kc+" || decoded.Transactions != 6 {
+		t.Errorf("decoded header = %+v", decoded)
+	}
+	if len(decoded.Frequent) != 30 {
+		t.Errorf("frequent itemsets in JSON = %d, want 30", len(decoded.Frequent))
+	}
+	if decoded.PrunedSameFeature != 4 {
+		t.Errorf("prunedSameFeature = %d", decoded.PrunedSameFeature)
+	}
+	if len(decoded.Rules) == 0 {
+		t.Error("rules missing from JSON")
+	}
+	// Without rules, the field is omitted.
+	buf.Reset()
+	if err := writeJSON(&buf, "apriori", out, false); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"rules"`)) {
+		t.Error("rules present despite withRules=false")
+	}
+}

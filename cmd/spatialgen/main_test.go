@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestParseGrid(t *testing.T) {
+	w, h, err := parseGrid("10x20")
+	if err != nil || w != 10 || h != 20 {
+		t.Errorf("parseGrid = %d, %d, %v", w, h, err)
+	}
+	// Upper-case separator accepted.
+	w, h, err = parseGrid("3X4")
+	if err != nil || w != 3 || h != 4 {
+		t.Errorf("parseGrid upper = %d, %d, %v", w, h, err)
+	}
+	for _, bad := range []string{"", "10", "x10", "10x", "axb"} {
+		if _, _, err := parseGrid(bad); err == nil {
+			t.Errorf("parseGrid(%q) should fail", bad)
+		}
+	}
+}

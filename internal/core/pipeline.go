@@ -1,0 +1,170 @@
+// Package core assembles the paper's complete system: the spatial pattern
+// mining pipeline that takes a geographic dataset, extracts qualitative
+// spatial predicates into a transaction table, mines frequent patterns
+// with the configured algorithm (Apriori, Apriori-KC, or the paper's
+// Apriori-KC+), and derives association rules.
+//
+// It is the integration layer over the substrate packages (geom, de9im,
+// qsr, index, dataset, transact, itemset, mining) and the implementation
+// behind the public qsrmine API.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/transact"
+)
+
+// Algorithm selects the mining variant.
+type Algorithm int
+
+// The three algorithms the paper evaluates, plus an FP-growth engine
+// mining the same KC+ pattern set.
+const (
+	// AlgApriori is the classic baseline: no filtering.
+	AlgApriori Algorithm = iota
+	// AlgAprioriKC removes the background-knowledge dependency pairs Φ
+	// from C2.
+	AlgAprioriKC
+	// AlgAprioriKCPlus additionally removes every candidate pair whose
+	// predicates share a feature type — the paper's contribution.
+	AlgAprioriKCPlus
+	// AlgFPGrowthKCPlus mines the Apriori-KC+ pattern set with the
+	// FP-growth engine (independent implementation, faster on dense
+	// low-support workloads).
+	AlgFPGrowthKCPlus
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgApriori:
+		return "apriori"
+	case AlgAprioriKC:
+		return "apriori-kc"
+	case AlgAprioriKCPlus:
+		return "apriori-kc+"
+	case AlgFPGrowthKCPlus:
+		return "fpgrowth-kc+"
+	}
+	return fmt.Sprintf("core.Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm inverts Algorithm.String.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "apriori":
+		return AlgApriori, nil
+	case "apriori-kc", "kc":
+		return AlgAprioriKC, nil
+	case "apriori-kc+", "kc+", "kcplus":
+		return AlgAprioriKCPlus, nil
+	case "fpgrowth-kc+", "fpgrowth":
+		return AlgFPGrowthKCPlus, nil
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q (want apriori, apriori-kc, apriori-kc+, or fpgrowth-kc+)", s)
+}
+
+// Config parameterises a full pipeline run.
+type Config struct {
+	// Extraction configures the predicate extraction; zero value uses
+	// transact.DefaultOptions.
+	Extraction transact.Options
+	// Algorithm picks the miner.
+	Algorithm Algorithm
+	// MinSupport is the relative minimum support in (0, 1].
+	MinSupport float64
+	// Dependencies is the background knowledge Φ (used by KC and KC+).
+	Dependencies []mining.Pair
+	// MinConfidence gates rule generation; rules are skipped when 0 and
+	// GenerateRules is false.
+	MinConfidence float64
+	// GenerateRules enables the association-rule stage.
+	GenerateRules bool
+	// PostFilter applies an optional redundancy post-filter.
+	PostFilter PostFilter
+}
+
+// PostFilter selects the optional redundancy elimination applied after
+// mining — the paper's future-work direction.
+type PostFilter int
+
+// Post filters.
+const (
+	// NoPostFilter keeps all frequent itemsets.
+	NoPostFilter PostFilter = iota
+	// ClosedFilter keeps only closed itemsets.
+	ClosedFilter
+	// MaximalFilter keeps only maximal itemsets.
+	MaximalFilter
+)
+
+// Outcome bundles everything a pipeline run produces.
+type Outcome struct {
+	// Table is the extracted (or supplied) transaction table.
+	Table *dataset.Table
+	// DB is the interned mining database (exposes the dictionary).
+	DB *itemset.DB
+	// Result is the mining result with pass statistics.
+	Result *mining.Result
+	// Rules holds the generated association rules (nil unless enabled).
+	Rules []mining.Rule
+}
+
+// Run executes the full pipeline on a geographic dataset.
+func Run(d *dataset.Dataset, cfg Config) (*Outcome, error) {
+	opts := cfg.Extraction
+	if !opts.Topological && !opts.Distance && !opts.Directional {
+		opts = transact.DefaultOptions()
+	}
+	table, err := transact.Extract(d, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: extraction: %w", err)
+	}
+	return RunTable(table, cfg)
+}
+
+// RunTable executes the mining stages on an existing transaction table
+// (e.g. one loaded from disk or produced by a generator).
+func RunTable(table *dataset.Table, cfg Config) (*Outcome, error) {
+	db := itemset.NewDB(table)
+	mcfg := mining.Config{
+		MinSupport:   cfg.MinSupport,
+		Dependencies: cfg.Dependencies,
+	}
+	var res *mining.Result
+	var err error
+	switch cfg.Algorithm {
+	case AlgApriori:
+		res, err = mining.Apriori(db, mcfg)
+	case AlgAprioriKC:
+		res, err = mining.AprioriKC(db, mcfg)
+	case AlgAprioriKCPlus:
+		res, err = mining.AprioriKCPlus(db, mcfg)
+	case AlgFPGrowthKCPlus:
+		mcfg.FilterSameFeature = true
+		res, err = mining.FPGrowth(db, mcfg)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", cfg.Algorithm)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: mining: %w", err)
+	}
+	switch cfg.PostFilter {
+	case NoPostFilter:
+	case ClosedFilter:
+		res.Frequent = mining.ClosedOnly(res.Frequent)
+	case MaximalFilter:
+		res.Frequent = mining.MaximalOnly(res.Frequent)
+	default:
+		return nil, fmt.Errorf("core: unknown post filter %d", cfg.PostFilter)
+	}
+	out := &Outcome{Table: table, DB: db, Result: res}
+	if cfg.GenerateRules {
+		out.Rules = mining.GenerateRules(res, cfg.MinConfidence)
+	}
+	return out, nil
+}

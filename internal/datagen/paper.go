@@ -1,0 +1,169 @@
+package datagen
+
+import "repro/internal/dataset"
+
+// Dataset1Predicates is the 13-spatial-predicate vocabulary of the first
+// Section 4.2 experiment: six geographic object types whose relation
+// counts are {street: 3, slum: 3, school: 2, hospital: 2,
+// illuminationPoint: 2, factory: 1}, giving C(3,2)+C(3,2)+1+1+1 = 9
+// same-feature pairs, plus one non-spatial attribute (crimeRate).
+var Dataset1Predicates = []string{
+	"crimeRate=high", "crimeRate=low",
+	"contains_street", "crosses_street", "touches_street",
+	"contains_slum", "touches_slum", "overlaps_slum",
+	"contains_school", "touches_school",
+	"contains_hospital", "touches_hospital",
+	"contains_illuminationPoint", "touches_illuminationPoint",
+	"contains_factory",
+}
+
+// Dataset1Dependencies is the Φ of the first experiment: four well-known
+// geographic dependencies, in the spirit of the paper's "illumination
+// points are adjacent to streets, and all streets are related to at least
+// one district".
+var Dataset1Dependencies = []Pair{
+	{A: "contains_street", B: "contains_illuminationPoint"},
+	{A: "crosses_street", B: "contains_illuminationPoint"},
+	{A: "touches_street", B: "touches_illuminationPoint"},
+	{A: "contains_slum", B: "contains_street"},
+}
+
+// PaperDataset1 generates the first experiment's transaction table
+// (Figures 4 and 5): rows reference objects, 13 spatial predicates over 6
+// feature types, 9 same-feature pairs, 4 generatively enforced
+// dependencies.
+func PaperDataset1(seed int64, rows int) (*dataset.Table, error) {
+	cfg := TransactionConfig{
+		Rows:       rows,
+		Seed:       seed,
+		Predicates: Dataset1Predicates,
+		BaseProb:   0.02,
+		Profiles: []Profile{
+			{ // dense urban: slums, schools and hospitals co-occur deeply;
+				// streets/illumination stay moderate so the Φ-pair
+				// supersets form the paper's ~28% share, not half the
+				// lattice.
+				Weight: 0.30,
+				Probs: map[string]float64{
+					"crimeRate=high": 0.85, "crimeRate=low": 0.10,
+					"contains_street": 0.22, "crosses_street": 0.12, "touches_street": 0.08,
+					"contains_slum": 0.96, "touches_slum": 0.88, "overlaps_slum": 0.80,
+					"contains_school": 0.92, "touches_school": 0.84,
+					"contains_hospital": 0.84, "touches_hospital": 0.70,
+					"contains_illuminationPoint": 0.22, "touches_illuminationPoint": 0.12,
+					"contains_factory": 0.40,
+				},
+			},
+			{ // suburban: moderate density, low crime
+				Weight: 0.45,
+				Probs: map[string]float64{
+					"crimeRate=high": 0.15, "crimeRate=low": 0.80,
+					"contains_street": 0.22, "crosses_street": 0.10, "touches_street": 0.07,
+					"contains_slum": 0.20, "touches_slum": 0.15, "overlaps_slum": 0.08,
+					"contains_school": 0.60, "touches_school": 0.30,
+					"contains_hospital": 0.25, "touches_hospital": 0.15,
+					"contains_illuminationPoint": 0.25, "touches_illuminationPoint": 0.12,
+					"contains_factory": 0.15,
+				},
+			},
+			{ // rural: sparse
+				Weight: 0.25,
+				Probs: map[string]float64{
+					"crimeRate=high": 0.05, "crimeRate=low": 0.70,
+					"contains_street": 0.14, "crosses_street": 0.07, "touches_street": 0.05,
+					"contains_slum": 0.04, "touches_slum": 0.03, "overlaps_slum": 0.02,
+					"contains_school": 0.20, "touches_school": 0.08,
+					"contains_hospital": 0.05, "touches_hospital": 0.03,
+					"contains_illuminationPoint": 0.12, "touches_illuminationPoint": 0.05,
+					"contains_factory": 0.06,
+				},
+			},
+		},
+		Dependencies: Dataset1Dependencies,
+		AttributeGroups: [][]string{
+			{"crimeRate=high", "crimeRate=low"},
+		},
+	}
+	return Generate(cfg)
+}
+
+// Dataset2Predicates is the 10-spatial-predicate vocabulary of the second
+// Section 4.2 experiment: five feature types with two qualitative
+// relations each, giving exactly 5 same-feature pairs and no
+// dependencies.
+var Dataset2Predicates = []string{
+	"contains_market", "touches_market",
+	"contains_park", "touches_park",
+	"contains_river", "crosses_river",
+	"contains_church", "touches_church",
+	"contains_factory", "touches_factory",
+}
+
+// PaperDataset2 generates the second experiment's transaction table
+// (Figures 6 and 7): 10 spatial predicates, 5 same-feature pairs, no Φ.
+// The profile probabilities are tiered so that minimum supports swept
+// over the paper's 5-17% range peel predicates off the frequent border,
+// reproducing the largest-itemset shapes of the gain checks (m = 8 at 5%
+// shrinking to m = 7 at 17%).
+func PaperDataset2(seed int64, rows int) (*dataset.Table, error) {
+	cfg := TransactionConfig{
+		Rows:       rows,
+		Seed:       seed,
+		Predicates: Dataset2Predicates,
+		BaseProb:   0.01,
+		Profiles: []Profile{
+			{ // commercial core: both relations of market, park, and
+				// river co-occur almost always, so those three
+				// same-feature pairs stay frequent (and deeply embedded)
+				// across the whole 5-17% sweep.
+				Weight: 0.34,
+				Probs: map[string]float64{
+					"contains_market": 0.97, "touches_market": 0.95,
+					"contains_park": 0.96, "touches_park": 0.94,
+					"contains_river": 0.95, "crosses_river": 0.93,
+					"contains_church": 0.90, "touches_church": 0.25,
+					"contains_factory": 0.30, "touches_factory": 0.22,
+				},
+			},
+			{ // residential: some parks and churches
+				Weight: 0.33,
+				Probs: map[string]float64{
+					"contains_market": 0.22, "touches_market": 0.10,
+					"contains_park": 0.40, "touches_park": 0.16,
+					"contains_river": 0.12, "crosses_river": 0.06,
+					"contains_church": 0.55, "touches_church": 0.30,
+					"contains_factory": 0.08, "touches_factory": 0.04,
+				},
+			},
+			{ // industrial: factories dominate
+				Weight: 0.33,
+				Probs: map[string]float64{
+					"contains_market": 0.06, "touches_market": 0.04,
+					"contains_park": 0.08, "touches_park": 0.05,
+					"contains_river": 0.18, "crosses_river": 0.12,
+					"contains_church": 0.06, "touches_church": 0.03,
+					"contains_factory": 0.60, "touches_factory": 0.55,
+				},
+			},
+		},
+		// Generative correlation only (NOT a Φ input — the paper's second
+		// experiment declares no dependencies): a district touched by a
+		// factory or church usually also contains one, so the weak
+		// feature types' relations enter deep itemsets as pairs, which
+		// keeps the same-feature filter effective across the whole
+		// support sweep.
+		Dependencies: []Pair{
+			{A: "touches_factory", B: "contains_factory"},
+			{A: "touches_church", B: "contains_church"},
+		},
+		DependencyStrength: 0.9,
+	}
+	return Generate(cfg)
+}
+
+// DefaultRows is the row count the experiment harness uses; large enough
+// for stable support estimates, small enough for fast benches.
+const DefaultRows = 1000
+
+// DefaultSeed pins the harness datasets.
+const DefaultSeed = 2007 // the paper's publication year

@@ -1,0 +1,221 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+// GeometryKind selects the geometry produced for a scene feature type.
+type GeometryKind int
+
+// Scene feature geometry kinds.
+const (
+	// KindPolygon produces rectangles (slums, parks, ...).
+	KindPolygon GeometryKind = iota
+	// KindPoint produces points (schools, police centers, ...).
+	KindPoint
+	// KindLine produces polylines (rivers, streets, ...).
+	KindLine
+)
+
+// PlacementProbs gives, per district, the probability of placing one
+// feature instance realising each topological relation (from the
+// district's point of view). Relations not applicable to the geometry
+// kind are ignored (e.g. Crosses for polygons, Overlaps for points).
+type PlacementProbs struct {
+	Contains float64 // feature strictly inside the district
+	Covers   float64 // feature inside, sharing boundary (polygons only)
+	Overlaps float64 // feature straddling the boundary (polygons only)
+	Touches  float64 // feature outside or on the rim, sharing boundary
+	Crosses  float64 // feature passing through (lines only)
+}
+
+// SceneFeatureSpec describes one relevant feature type of a scene.
+type SceneFeatureSpec struct {
+	Name  string
+	Kind  GeometryKind
+	Probs PlacementProbs
+}
+
+// SceneConfig drives the geometric scene generator: a GridW x GridH
+// mosaic of square districts of the given size, populated independently
+// per district from the feature specs.
+type SceneConfig struct {
+	GridW, GridH int
+	DistrictSize float64
+	Seed         int64
+	Features     []SceneFeatureSpec
+	// CrimeAttribute, when true, attaches a crimeRate=high/low attribute
+	// correlated with the number of slum-ish polygon features placed.
+	CrimeAttribute bool
+	// IrregularPolygons replaces the rectangular "contains" placements
+	// with random convex polygons (hulls of jittered point clouds),
+	// exercising the general-polygon DE-9IM paths. Boundary-exact
+	// placements (covers/touches/overlaps) stay rectangular so the
+	// realised relations remain exact.
+	IrregularPolygons bool
+}
+
+// DefaultScene returns a medium scene configuration exercising polygons,
+// points, and lines — the pipeline benchmark workload.
+func DefaultScene(gridW, gridH int, seed int64) SceneConfig {
+	return SceneConfig{
+		GridW: gridW, GridH: gridH, DistrictSize: 10, Seed: seed,
+		CrimeAttribute: true,
+		Features: []SceneFeatureSpec{
+			{Name: "slum", Kind: KindPolygon, Probs: PlacementProbs{Contains: 0.5, Covers: 0.2, Overlaps: 0.3, Touches: 0.25}},
+			{Name: "school", Kind: KindPoint, Probs: PlacementProbs{Contains: 0.7, Touches: 0.3}},
+			{Name: "policeCenter", Kind: KindPoint, Probs: PlacementProbs{Contains: 0.3}},
+			{Name: "river", Kind: KindLine, Probs: PlacementProbs{Contains: 0.15, Crosses: 0.25, Touches: 0.1}},
+			{Name: "street", Kind: KindLine, Probs: PlacementProbs{Contains: 0.6, Crosses: 0.5}},
+		},
+	}
+}
+
+// GenerateScene builds the geometric dataset. Each district is a square
+// cell of a touching mosaic (like the Porto Alegre district map); feature
+// instances are placed with jittered offsets chosen to realise the
+// sampled relation exactly. A feature placed on a shared edge or
+// straddling it legitimately relates to both neighbouring districts, as
+// in real city data.
+func GenerateScene(cfg SceneConfig) (*dataset.Dataset, error) {
+	if cfg.GridW <= 0 || cfg.GridH <= 0 {
+		return nil, fmt.Errorf("datagen: grid must be positive, got %dx%d", cfg.GridW, cfg.GridH)
+	}
+	if cfg.DistrictSize <= 0 {
+		return nil, fmt.Errorf("datagen: district size must be positive, got %v", cfg.DistrictSize)
+	}
+	if len(cfg.Features) == 0 {
+		return nil, fmt.Errorf("datagen: no feature specs")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := cfg.DistrictSize
+
+	districts := dataset.NewLayer("district")
+	layers := make([]*dataset.Layer, len(cfg.Features))
+	for i, spec := range cfg.Features {
+		layers[i] = dataset.NewLayer(spec.Name)
+	}
+
+	for gy := 0; gy < cfg.GridH; gy++ {
+		for gx := 0; gx < cfg.GridW; gx++ {
+			ox, oy := float64(gx)*s, float64(gy)*s
+			d := dataset.Feature{
+				ID:       fmt.Sprintf("district_%d_%d", gx, gy),
+				Geometry: geom.Rect(ox, oy, ox+s, oy+s),
+			}
+			slumCount := 0
+			for i, spec := range cfg.Features {
+				placed := placeFeatures(rng, spec, ox, oy, s, layers[i], cfg.IrregularPolygons)
+				if spec.Kind == KindPolygon {
+					slumCount += placed
+				}
+			}
+			if cfg.CrimeAttribute {
+				rate := "low"
+				if slumCount >= 2 || (slumCount == 1 && rng.Float64() < 0.5) {
+					rate = "high"
+				}
+				d.Attrs = map[string]dataset.Value{"crimeRate": rate}
+			}
+			districts.Add(d)
+		}
+	}
+
+	ds := &dataset.Dataset{Reference: districts, Relevant: layers}
+	if cfg.CrimeAttribute {
+		ds.NonSpatialAttrs = []string{"crimeRate"}
+	}
+	return ds, nil
+}
+
+// placeFeatures samples and places the instances of one feature type for
+// one district cell at origin (ox, oy) with size s, returning how many
+// were placed.
+func placeFeatures(rng *rand.Rand, spec SceneFeatureSpec, ox, oy, s float64, layer *dataset.Layer, irregular bool) int {
+	placed := 0
+	add := func(g geom.Geometry) {
+		layer.AddGeometry(g)
+		placed++
+	}
+	u := rng.Float64 // shorthand
+
+	switch spec.Kind {
+	case KindPolygon:
+		if u() < spec.Probs.Contains {
+			// Strictly inside with jittered position and size.
+			w, h := s*(0.1+0.15*u()), s*(0.1+0.15*u())
+			x := ox + s*0.1 + u()*(s*0.8-w)
+			y := oy + s*0.1 + u()*(s*0.8-h)
+			if irregular {
+				add(convexBlob(rng, x, y, w, h))
+			} else {
+				add(geom.Rect(x, y, x+w, y+h))
+			}
+		}
+		if u() < spec.Probs.Covers {
+			// Inside, flush against the left edge.
+			h := s * (0.15 + 0.15*u())
+			y := oy + s*0.1 + u()*(s*0.8-h)
+			add(geom.Rect(ox, y, ox+s*0.2, y+h))
+		}
+		if u() < spec.Probs.Overlaps {
+			// Straddles the right edge (also overlapping or inside the
+			// right-hand neighbour, as real slums straddle districts).
+			h := s * (0.15 + 0.15*u())
+			y := oy + s*0.1 + u()*(s*0.8-h)
+			add(geom.Rect(ox+s*0.85, y, ox+s*1.15, y+h))
+		}
+		if u() < spec.Probs.Touches {
+			// Outside, sharing the top edge.
+			w := s * (0.15 + 0.15*u())
+			x := ox + s*0.1 + u()*(s*0.8-w)
+			add(geom.Rect(x, oy+s, x+w, oy+s*1.2))
+		}
+	case KindPoint:
+		if u() < spec.Probs.Contains {
+			add(geom.Pt(ox+s*0.1+u()*s*0.8, oy+s*0.1+u()*s*0.8))
+		}
+		if u() < spec.Probs.Touches {
+			// On the bottom edge.
+			add(geom.Pt(ox+s*0.1+u()*s*0.8, oy))
+		}
+	case KindLine:
+		if u() < spec.Probs.Contains {
+			// A short street strictly inside.
+			y := oy + s*0.1 + u()*s*0.8
+			add(geom.Line(geom.Pt(ox+s*0.15, y), geom.Pt(ox+s*0.85, y)))
+		}
+		if u() < spec.Probs.Crosses {
+			// A river running straight through and beyond both sides.
+			y := oy + s*0.1 + u()*s*0.8
+			add(geom.Line(geom.Pt(ox-s*0.3, y), geom.Pt(ox+s*1.3, y)))
+		}
+		if u() < spec.Probs.Touches {
+			// Along the left edge.
+			add(geom.Line(geom.Pt(ox, oy+s*0.1), geom.Pt(ox, oy+s*0.9)))
+		}
+	}
+	return placed
+}
+
+// convexBlob returns a random convex polygon inside the box
+// [x, x+w] x [y, y+h]: the convex hull of a small jittered point cloud.
+// Hulls of interior points stay strictly interior, so a blob placed in a
+// "contains" slot realises exactly the contains relation.
+func convexBlob(rng *rand.Rand, x, y, w, h float64) geom.Geometry {
+	n := 6 + rng.Intn(7)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(x+rng.Float64()*w, y+rng.Float64()*h)
+	}
+	hull := geom.ConvexHull(pts)
+	if hull.NumSegments() < 3 {
+		// Degenerate cloud (collinear): fall back to the full rectangle.
+		return geom.Rect(x, y, x+w, y+h)
+	}
+	return geom.Polygon{Shell: hull}
+}

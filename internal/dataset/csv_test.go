@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestTableCSVRoundTrip(t *testing.T) {
+	orig := PortoAlegreTable()
+	var buf bytes.Buffer
+	if err := orig.WriteTableCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTableCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("rows %d -> %d", orig.Len(), back.Len())
+	}
+	for i := range orig.Transactions {
+		a, b := orig.Transactions[i], back.Transactions[i]
+		if a.RefID != b.RefID {
+			t.Errorf("row %d: %q -> %q", i, a.RefID, b.RefID)
+		}
+		if strings.Join(a.Items, "|") != strings.Join(b.Items, "|") {
+			t.Errorf("row %d items changed", i)
+		}
+	}
+}
+
+func TestReadTableCSVComments(t *testing.T) {
+	src := `# a comment
+d1,contains_slum,touches_school
+
+d2, contains_slum , contains_slum
+`
+	table, err := ReadTableCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != 2 {
+		t.Fatalf("rows = %d, want 2 (comment/blank skipped)", table.Len())
+	}
+	// Whitespace trimmed, duplicates removed.
+	if len(table.Transactions[1].Items) != 1 || table.Transactions[1].Items[0] != "contains_slum" {
+		t.Errorf("row 2 items = %v", table.Transactions[1].Items)
+	}
+}
+
+func TestReadTableCSVErrors(t *testing.T) {
+	if _, err := ReadTableCSV(strings.NewReader(",item\n")); err == nil {
+		t.Error("empty reference ID should fail")
+	}
+}
+
+func TestLoadTableCSV(t *testing.T) {
+	path := t.TempDir() + "/table.csv"
+	orig := PortoAlegreTable()
+	var buf bytes.Buffer
+	if err := orig.WriteTableCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	table, err := LoadTableCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != 6 {
+		t.Errorf("rows = %d", table.Len())
+	}
+	if _, err := LoadTableCSV(t.TempDir() + "/missing.csv"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+// writeFile is a minimal test helper around os.WriteFile.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

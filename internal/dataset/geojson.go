@@ -1,0 +1,221 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+)
+
+// GeoJSON interchange: each layer maps to one FeatureCollection. This is
+// the format real GIS tools exchange, so datasets prepared in QGIS or
+// PostGIS can be mined directly.
+
+// geoJSONCollection is a GeoJSON FeatureCollection.
+type geoJSONCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+type geoJSONFeature struct {
+	Type       string           `json:"type"`
+	ID         string           `json:"id,omitempty"`
+	Geometry   *geoJSONGeometry `json:"geometry"`
+	Properties map[string]Value `json:"properties,omitempty"`
+}
+
+type geoJSONGeometry struct {
+	Type        string          `json:"type"`
+	Coordinates json.RawMessage `json:"coordinates"`
+}
+
+// WriteGeoJSON serialises one layer as a GeoJSON FeatureCollection.
+func (l *Layer) WriteGeoJSON(w io.Writer) error {
+	coll := geoJSONCollection{Type: "FeatureCollection"}
+	for i := range l.Features {
+		f := &l.Features[i]
+		gj, err := geometryToGeoJSON(f.Geometry)
+		if err != nil {
+			return fmt.Errorf("dataset: layer %q feature %q: %w", l.Type, f.ID, err)
+		}
+		coll.Features = append(coll.Features, geoJSONFeature{
+			Type: "Feature", ID: f.ID, Geometry: gj, Properties: f.Attrs,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(coll)
+}
+
+// ReadGeoJSON parses a GeoJSON FeatureCollection into a layer of the
+// given feature type.
+func ReadGeoJSON(r io.Reader, featureType string) (*Layer, error) {
+	var coll geoJSONCollection
+	if err := json.NewDecoder(r).Decode(&coll); err != nil {
+		return nil, fmt.Errorf("dataset: decoding GeoJSON: %w", err)
+	}
+	if coll.Type != "FeatureCollection" {
+		return nil, fmt.Errorf("dataset: expected FeatureCollection, got %q", coll.Type)
+	}
+	layer := NewLayer(featureType)
+	for i, gf := range coll.Features {
+		if gf.Geometry == nil {
+			return nil, fmt.Errorf("dataset: feature %d has no geometry", i)
+		}
+		g, err := geometryFromGeoJSON(gf.Geometry)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: feature %d: %w", i, err)
+		}
+		id := gf.ID
+		if id == "" {
+			id = fmt.Sprintf("%s%d", featureType, i)
+		}
+		layer.Add(Feature{ID: id, Geometry: g, Attrs: gf.Properties})
+	}
+	return layer, nil
+}
+
+// geometryToGeoJSON converts a geometry to its GeoJSON representation.
+func geometryToGeoJSON(g geom.Geometry) (*geoJSONGeometry, error) {
+	if g == nil {
+		return nil, fmt.Errorf("nil geometry")
+	}
+	marshal := func(v interface{}) json.RawMessage {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			panic(err) // positions of float64 always marshal
+		}
+		return raw
+	}
+	switch t := g.(type) {
+	case geom.Point:
+		return &geoJSONGeometry{Type: "Point", Coordinates: marshal(pos(t))}, nil
+	case geom.MultiPoint:
+		return &geoJSONGeometry{Type: "MultiPoint", Coordinates: marshal(posList(t.Points))}, nil
+	case geom.LineString:
+		return &geoJSONGeometry{Type: "LineString", Coordinates: marshal(posList(t.Coords))}, nil
+	case geom.MultiLineString:
+		lines := make([][][2]float64, len(t.Lines))
+		for i, l := range t.Lines {
+			lines[i] = posList(l.Coords)
+		}
+		return &geoJSONGeometry{Type: "MultiLineString", Coordinates: marshal(lines)}, nil
+	case geom.Polygon:
+		return &geoJSONGeometry{Type: "Polygon", Coordinates: marshal(polyCoords(t))}, nil
+	case geom.MultiPolygon:
+		polys := make([][][][2]float64, len(t.Polygons))
+		for i, p := range t.Polygons {
+			polys[i] = polyCoords(p)
+		}
+		return &geoJSONGeometry{Type: "MultiPolygon", Coordinates: marshal(polys)}, nil
+	}
+	return nil, fmt.Errorf("unsupported geometry type %T", g)
+}
+
+func pos(p geom.Point) [2]float64 { return [2]float64{p.X, p.Y} }
+
+func posList(ps []geom.Point) [][2]float64 {
+	out := make([][2]float64, len(ps))
+	for i, p := range ps {
+		out[i] = pos(p)
+	}
+	return out
+}
+
+// polyCoords renders rings with the explicit closing position GeoJSON
+// requires.
+func polyCoords(p geom.Polygon) [][][2]float64 {
+	rings := p.Rings()
+	out := make([][][2]float64, len(rings))
+	for i, r := range rings {
+		coords := posList(r.Coords)
+		if len(coords) > 0 {
+			coords = append(coords, coords[0])
+		}
+		out[i] = coords
+	}
+	return out
+}
+
+// geometryFromGeoJSON converts a GeoJSON geometry back.
+func geometryFromGeoJSON(gj *geoJSONGeometry) (geom.Geometry, error) {
+	switch gj.Type {
+	case "Point":
+		var c [2]float64
+		if err := json.Unmarshal(gj.Coordinates, &c); err != nil {
+			return nil, err
+		}
+		return geom.Point{X: c[0], Y: c[1]}, nil
+	case "MultiPoint":
+		var cs [][2]float64
+		if err := json.Unmarshal(gj.Coordinates, &cs); err != nil {
+			return nil, err
+		}
+		return geom.MultiPoint{Points: points(cs)}, nil
+	case "LineString":
+		var cs [][2]float64
+		if err := json.Unmarshal(gj.Coordinates, &cs); err != nil {
+			return nil, err
+		}
+		return geom.LineString{Coords: points(cs)}, nil
+	case "MultiLineString":
+		var ls [][][2]float64
+		if err := json.Unmarshal(gj.Coordinates, &ls); err != nil {
+			return nil, err
+		}
+		out := geom.MultiLineString{Lines: make([]geom.LineString, len(ls))}
+		for i, cs := range ls {
+			out.Lines[i] = geom.LineString{Coords: points(cs)}
+		}
+		return out, nil
+	case "Polygon":
+		var rings [][][2]float64
+		if err := json.Unmarshal(gj.Coordinates, &rings); err != nil {
+			return nil, err
+		}
+		return polygonFromRings(rings)
+	case "MultiPolygon":
+		var polys [][][][2]float64
+		if err := json.Unmarshal(gj.Coordinates, &polys); err != nil {
+			return nil, err
+		}
+		out := geom.MultiPolygon{Polygons: make([]geom.Polygon, len(polys))}
+		for i, rings := range polys {
+			p, err := polygonFromRings(rings)
+			if err != nil {
+				return nil, err
+			}
+			out.Polygons[i] = p
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unsupported GeoJSON geometry type %q", gj.Type)
+}
+
+func points(cs [][2]float64) []geom.Point {
+	out := make([]geom.Point, len(cs))
+	for i, c := range cs {
+		out[i] = geom.Point{X: c[0], Y: c[1]}
+	}
+	return out
+}
+
+// polygonFromRings strips the GeoJSON closing positions.
+func polygonFromRings(rings [][][2]float64) (geom.Polygon, error) {
+	if len(rings) == 0 {
+		return geom.Polygon{}, fmt.Errorf("polygon with no rings")
+	}
+	toRing := func(cs [][2]float64) geom.Ring {
+		ps := points(cs)
+		if len(ps) > 1 && ps[0].Equal(ps[len(ps)-1]) {
+			ps = ps[:len(ps)-1]
+		}
+		return geom.Ring{Coords: ps}
+	}
+	poly := geom.Polygon{Shell: toRing(rings[0])}
+	for _, h := range rings[1:] {
+		poly.Holes = append(poly.Holes, toRing(h))
+	}
+	return poly, nil
+}

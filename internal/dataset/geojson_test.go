@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestGeoJSONRoundTripAllTypes(t *testing.T) {
+	layer := NewLayer("mixed")
+	layer.Add(Feature{ID: "pt", Geometry: geom.Pt(1, 2),
+		Attrs: map[string]Value{"name": "a point"}})
+	layer.Add(Feature{ID: "mp", Geometry: geom.MultiPoint{Points: []geom.Point{geom.Pt(0, 0), geom.Pt(3, 4)}}})
+	layer.Add(Feature{ID: "ls", Geometry: geom.Line(geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(2, 0))})
+	layer.Add(Feature{ID: "mls", Geometry: geom.MultiLineString{Lines: []geom.LineString{
+		geom.Line(geom.Pt(0, 0), geom.Pt(1, 0)),
+		geom.Line(geom.Pt(0, 1), geom.Pt(1, 1)),
+	}}})
+	layer.Add(Feature{ID: "poly", Geometry: geom.Polygon{
+		Shell: geom.Ring{Coords: []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10)}},
+		Holes: []geom.Ring{{Coords: []geom.Point{geom.Pt(2, 2), geom.Pt(4, 2), geom.Pt(4, 4), geom.Pt(2, 4)}}},
+	}})
+	layer.Add(Feature{ID: "mpoly", Geometry: geom.MultiPolygon{Polygons: []geom.Polygon{
+		geom.Rect(0, 0, 1, 1), geom.Rect(5, 5, 6, 6),
+	}}})
+
+	var buf bytes.Buffer
+	if err := layer.WriteGeoJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGeoJSON(&buf, "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != layer.Len() {
+		t.Fatalf("feature count %d -> %d", layer.Len(), back.Len())
+	}
+	for i := range layer.Features {
+		orig, got := &layer.Features[i], &back.Features[i]
+		if orig.ID != got.ID {
+			t.Errorf("feature %d: ID %q -> %q", i, orig.ID, got.ID)
+		}
+		if orig.Geometry.WKT() != got.Geometry.WKT() {
+			t.Errorf("feature %q: geometry changed:\n  %s\n  %s",
+				orig.ID, orig.Geometry.WKT(), got.Geometry.WKT())
+		}
+	}
+	// Attributes survive as properties.
+	if v, ok := back.Features[0].Attr("name"); !ok || v != "a point" {
+		t.Errorf("attrs lost: %v %v", v, ok)
+	}
+}
+
+func TestReadGeoJSONHandWritten(t *testing.T) {
+	src := `{
+	  "type": "FeatureCollection",
+	  "features": [
+	    {"type": "Feature",
+	     "geometry": {"type": "Polygon",
+	       "coordinates": [[[0,0],[4,0],[4,4],[0,4],[0,0]]]},
+	     "properties": {"murderRate": "high"}}
+	  ]
+	}`
+	layer, err := ReadGeoJSON(strings.NewReader(src), "district")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layer.Len() != 1 {
+		t.Fatalf("features = %d", layer.Len())
+	}
+	f := &layer.Features[0]
+	if f.ID != "district0" {
+		t.Errorf("auto ID = %q", f.ID)
+	}
+	poly, ok := f.Geometry.(geom.Polygon)
+	if !ok {
+		t.Fatalf("geometry type %T", f.Geometry)
+	}
+	if len(poly.Shell.Coords) != 4 {
+		t.Errorf("closing coordinate not stripped: %d coords", len(poly.Shell.Coords))
+	}
+	if v, _ := f.Attr("murderRate"); v != "high" {
+		t.Errorf("property = %v", v)
+	}
+}
+
+func TestReadGeoJSONErrors(t *testing.T) {
+	cases := []string{
+		`{nope`,
+		`{"type": "Feature"}`,
+		`{"type": "FeatureCollection", "features": [{"type": "Feature"}]}`,
+		`{"type": "FeatureCollection", "features": [
+		  {"type": "Feature", "geometry": {"type": "Circle", "coordinates": [0,0]}}]}`,
+		`{"type": "FeatureCollection", "features": [
+		  {"type": "Feature", "geometry": {"type": "Point", "coordinates": "x"}}]}`,
+		`{"type": "FeatureCollection", "features": [
+		  {"type": "Feature", "geometry": {"type": "Polygon", "coordinates": []}}]}`,
+	}
+	for _, src := range cases {
+		if _, err := ReadGeoJSON(strings.NewReader(src), "x"); err == nil {
+			t.Errorf("ReadGeoJSON(%q) should fail", src)
+		}
+	}
+}
+
+func TestWriteGeoJSONNilGeometry(t *testing.T) {
+	layer := NewLayer("bad")
+	layer.Add(Feature{ID: "f"})
+	var buf bytes.Buffer
+	if err := layer.WriteGeoJSON(&buf); err == nil {
+		t.Error("nil geometry should fail")
+	}
+}
+
+func TestGeoJSONSceneLayer(t *testing.T) {
+	// A whole Porto Alegre layer survives the trip.
+	scene := PortoAlegreScene()
+	var buf bytes.Buffer
+	if err := scene.Relevant[0].WriteGeoJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGeoJSON(&buf, "slum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != scene.Relevant[0].Len() {
+		t.Errorf("slum count %d -> %d", scene.Relevant[0].Len(), back.Len())
+	}
+	if back.Envelope() != scene.Relevant[0].Envelope() {
+		t.Error("layer envelope changed")
+	}
+}

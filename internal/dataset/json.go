@@ -1,0 +1,185 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// jsonDataset is the on-disk representation of a Dataset: geometries are
+// WKT strings inside plain JSON, so files are diffable and editable.
+type jsonDataset struct {
+	Reference       jsonLayer   `json:"reference"`
+	Relevant        []jsonLayer `json:"relevant"`
+	NonSpatialAttrs []string    `json:"nonSpatialAttrs,omitempty"`
+}
+
+type jsonLayer struct {
+	Type     string        `json:"type"`
+	Features []jsonFeature `json:"features"`
+}
+
+type jsonFeature struct {
+	ID    string           `json:"id"`
+	WKT   string           `json:"wkt"`
+	Attrs map[string]Value `json:"attrs,omitempty"`
+}
+
+// WriteJSON serialises the dataset to w as indented JSON.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	jd := jsonDataset{
+		Reference:       layerToJSON(d.Reference),
+		NonSpatialAttrs: d.NonSpatialAttrs,
+	}
+	for _, l := range d.Relevant {
+		jd.Relevant = append(jd.Relevant, layerToJSON(l))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jd)
+}
+
+// SaveJSON writes the dataset to a file.
+func (d *Dataset) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: saving %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := d.WriteJSON(f); err != nil {
+		return fmt.Errorf("dataset: saving %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func layerToJSON(l *Layer) jsonLayer {
+	jl := jsonLayer{Type: l.Type}
+	for i := range l.Features {
+		f := &l.Features[i]
+		jf := jsonFeature{ID: f.ID, Attrs: f.Attrs}
+		if f.Geometry != nil {
+			jf.WKT = f.Geometry.WKT()
+		}
+		jl.Features = append(jl.Features, jf)
+	}
+	return jl
+}
+
+// ReadJSON parses a dataset from r; see WriteJSON for the format.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var jd jsonDataset
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jd); err != nil {
+		return nil, fmt.Errorf("dataset: decoding JSON: %w", err)
+	}
+	ref, err := layerFromJSON(jd.Reference)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{Reference: ref, NonSpatialAttrs: jd.NonSpatialAttrs}
+	for _, jl := range jd.Relevant {
+		l, err := layerFromJSON(jl)
+		if err != nil {
+			return nil, err
+		}
+		d.Relevant = append(d.Relevant, l)
+	}
+	return d, nil
+}
+
+// LoadJSON reads a dataset from a file.
+func LoadJSON(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: loading %s: %w", path, err)
+	}
+	defer f.Close()
+	d, err := ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: loading %s: %w", path, err)
+	}
+	return d, nil
+}
+
+func layerFromJSON(jl jsonLayer) (*Layer, error) {
+	l := NewLayer(jl.Type)
+	for _, jf := range jl.Features {
+		g, err := geom.ParseWKT(jf.WKT)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: layer %q feature %q: %w", jl.Type, jf.ID, err)
+		}
+		l.Add(Feature{ID: jf.ID, Geometry: g, Attrs: jf.Attrs})
+	}
+	return l, nil
+}
+
+// WriteTableCSV writes the transaction table in a simple CSV-ish format:
+// one line per transaction, reference ID first, then comma-separated
+// items. Readable by ReadTableCSV and by eyeball.
+func (t *Table) WriteTableCSV(w io.Writer) error {
+	for _, tx := range t.Transactions {
+		if _, err := fmt.Fprintf(w, "%s", tx.RefID); err != nil {
+			return err
+		}
+		for _, it := range tx.Items {
+			if _, err := fmt.Fprintf(w, ",%s", it); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTableCSV parses the WriteTableCSV format: one transaction per line,
+// "refID,item,item,...". Blank lines and lines starting with '#' are
+// skipped; items are normalised (sorted, deduplicated).
+func ReadTableCSV(r io.Reader) (*Table, error) {
+	var rows []Transaction
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if fields[0] == "" {
+			return nil, fmt.Errorf("dataset: line %d: empty reference ID", lineNo)
+		}
+		items := make([]string, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			if f = strings.TrimSpace(f); f != "" {
+				items = append(items, f)
+			}
+		}
+		rows = append(rows, Transaction{RefID: fields[0], Items: items})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading table: %w", err)
+	}
+	return NewTable(rows), nil
+}
+
+// LoadTableCSV reads a transaction table from a file.
+func LoadTableCSV(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: loading %s: %w", path, err)
+	}
+	defer f.Close()
+	t, err := ReadTableCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: loading %s: %w", path, err)
+	}
+	return t, nil
+}

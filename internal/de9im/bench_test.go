@@ -1,0 +1,55 @@
+package de9im
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func ngon(n int, cx, cy, r float64) geom.Polygon {
+	coords := make([]geom.Point, n)
+	for i := range coords {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		coords[i] = geom.Pt(cx+r*math.Cos(theta), cy+r*math.Sin(theta))
+	}
+	return geom.Polygon{Shell: geom.Ring{Coords: coords}}
+}
+
+func BenchmarkRelatePolygonsOverlapping(b *testing.B) {
+	a := ngon(32, 0, 0, 10)
+	c := ngon(32, 8, 0, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Relate(a, c)
+	}
+}
+
+func BenchmarkRelatePolygonsDisjoint(b *testing.B) {
+	a := ngon(32, 0, 0, 10)
+	c := ngon(32, 100, 0, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Relate(a, c)
+	}
+}
+
+func BenchmarkRelateLinePolygon(b *testing.B) {
+	poly := ngon(32, 0, 0, 10)
+	line := geom.Line(geom.Pt(-15, 0), geom.Pt(15, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Relate(line, poly)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	a := ngon(16, 0, 0, 10)
+	c := ngon(16, 3, 0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := Classify(a, c); got != Contains {
+			b.Fatalf("relation = %v", got)
+		}
+	}
+}

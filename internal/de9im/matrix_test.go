@@ -1,0 +1,165 @@
+package de9im
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestDimRune(t *testing.T) {
+	cases := map[Dim]byte{F: 'F', D0: '0', D1: '1', D2: '2', Dim(7): '?'}
+	for d, want := range cases {
+		if got := d.Rune(); got != want {
+			t.Errorf("Dim(%d).Rune() = %c, want %c", d, got, want)
+		}
+	}
+}
+
+func TestNewMatrixAllEmpty(t *testing.T) {
+	m := NewMatrix()
+	if m.String() != "FFFFFFFFF" {
+		t.Errorf("new matrix = %s", m)
+	}
+}
+
+func TestMatrixSetMonotone(t *testing.T) {
+	m := NewMatrix()
+	m.Set(0, 0, D1)
+	m.Set(0, 0, D0) // must not lower
+	if m[0][0] != D1 {
+		t.Errorf("Set lowered entry to %v", m[0][0])
+	}
+	m.Set(0, 0, D2)
+	if m[0][0] != D2 {
+		t.Errorf("Set did not raise entry: %v", m[0][0])
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m := NewMatrix()
+	m.Set(Int, Ext, D2)
+	m.Set(Bnd, Int, D1)
+	tr := m.Transpose()
+	if tr[Ext][Int] != D2 || tr[Int][Bnd] != D1 {
+		t.Errorf("transpose = %s", tr)
+	}
+	if tr.Transpose() != m {
+		t.Error("double transpose must be identity")
+	}
+}
+
+func TestParseMatrixRoundTrip(t *testing.T) {
+	for _, s := range []string{"FFFFFFFFF", "212101212", "F0F1F2F0F"} {
+		m, err := ParseMatrix(s)
+		if err != nil {
+			t.Fatalf("ParseMatrix(%q): %v", s, err)
+		}
+		if m.String() != s {
+			t.Errorf("round trip: %q -> %q", s, m.String())
+		}
+	}
+	if _, err := ParseMatrix("TOOSHORT"); err == nil {
+		t.Error("short string should fail")
+	}
+	if _, err := ParseMatrix("XXXXXXXXX"); err == nil {
+		t.Error("bad character should fail")
+	}
+}
+
+func TestMatrixMatches(t *testing.T) {
+	m, _ := ParseMatrix("212F11FF2")
+	cases := []struct {
+		pattern string
+		want    bool
+	}{
+		{"*********", true},
+		{"212F11FF2", true},
+		{"T*T***FF*", true},
+		{"T********", true},
+		{"F********", false},
+		{"***T*****", false},
+		{"2********", true},
+		{"1********", false},
+	}
+	for _, tc := range cases {
+		if got := m.Matches(tc.pattern); got != tc.want {
+			t.Errorf("Matches(%q) = %v, want %v", tc.pattern, got, tc.want)
+		}
+	}
+}
+
+func TestMatrixMatchesPanics(t *testing.T) {
+	m := NewMatrix()
+	mustPanic(t, func() { m.Matches("short") })
+	mustPanic(t, func() { m.Matches("XXXXXXXXX") })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestRelationString(t *testing.T) {
+	cases := map[Relation]string{
+		RelationNone: "none",
+		Equals:       "equals",
+		Disjoint:     "disjoint",
+		Touches:      "touches",
+		Contains:     "contains",
+		Within:       "within",
+		Covers:       "covers",
+		CoveredBy:    "coveredBy",
+		Crosses:      "crosses",
+		Overlaps:     "overlaps",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Relation(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestRelationInverse(t *testing.T) {
+	cases := map[Relation]Relation{
+		Contains:  Within,
+		Within:    Contains,
+		Covers:    CoveredBy,
+		CoveredBy: Covers,
+		Equals:    Equals,
+		Disjoint:  Disjoint,
+		Touches:   Touches,
+		Crosses:   Crosses,
+		Overlaps:  Overlaps,
+	}
+	for r, want := range cases {
+		if got := r.Inverse(); got != want {
+			t.Errorf("%v.Inverse() = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestAllRelationsComplete(t *testing.T) {
+	rs := AllRelations()
+	if len(rs) != 9 {
+		t.Fatalf("AllRelations has %d entries, want 9", len(rs))
+	}
+	seen := map[Relation]bool{}
+	for _, r := range rs {
+		if seen[r] {
+			t.Errorf("duplicate relation %v", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestLocToCol(t *testing.T) {
+	if locToCol(geom.Interior) != Int || locToCol(geom.Boundary) != Bnd ||
+		locToCol(geom.Exterior) != Ext {
+		t.Error("locToCol mapping wrong")
+	}
+}

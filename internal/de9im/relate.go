@@ -1,0 +1,212 @@
+package de9im
+
+import "repro/internal/geom"
+
+// Relate computes the DE-9IM matrix of geometry a against geometry b.
+//
+// Algorithm: both geometries are decomposed into tagged linework and points
+// (geom.BuildSoup); the linework is noded at every mutual intersection;
+// each resulting sub-segment midpoint, isolated point, and node point is
+// classified against the other geometry; finally the 2-D (area) entries are
+// filled in by containment reasoning over the classified boundary pieces
+// and per-component interior sample points.
+//
+// Inputs are assumed valid (simple rings, holes inside shells, multi-part
+// members with disjoint interiors); geom.Validate can check this.
+func Relate(a, b geom.Geometry) Matrix {
+	m := NewMatrix()
+	aEmpty, bEmpty := a == nil || a.IsEmpty(), b == nil || b.IsEmpty()
+	m[Ext][Ext] = D2 // two bounded (possibly empty) geometries in the plane
+	if aEmpty && bEmpty {
+		return m
+	}
+	if aEmpty {
+		t := Relate(b, a).Transpose()
+		return t
+	}
+	if bEmpty {
+		// All of a lies in b's exterior.
+		fillAllExterior(&m, geom.BuildSoup(a), false)
+		return m
+	}
+	// Disjoint envelopes imply disjoint geometries: fill both exterior
+	// slices directly and skip the noding machinery entirely. This is
+	// the common case of a spatial join after the index filter.
+	if !a.Envelope().Buffer(geom.Eps).Intersects(b.Envelope()) {
+		fillAllExterior(&m, geom.BuildSoup(a), false)
+		fillAllExterior(&m, geom.BuildSoup(b), true)
+		return m
+	}
+
+	sa, sb := geom.BuildSoup(a), geom.BuildSoup(b)
+	noded := geom.NodeSoups(sa, sb)
+
+	// Classification evidence gathered along the way, used by the area
+	// entries below.
+	var (
+		aRingInIntB, aRingOnBndB, aRingInExtB bool
+		bRingInIntA, bRingOnBndA, bRingInExtA bool
+	)
+
+	// Classify a's sub-segments against b.
+	for _, ts := range noded.SubA {
+		loc := geom.Locate(ts.Seg.Midpoint(), b)
+		row := Int
+		if ts.Role == geom.RoleRingBoundary {
+			row = Bnd
+			switch loc {
+			case geom.Interior:
+				aRingInIntB = true
+			case geom.Boundary:
+				aRingOnBndB = true
+			default:
+				aRingInExtB = true
+			}
+		}
+		m.Set(row, locToCol(loc), D1)
+	}
+	// Classify b's sub-segments against a (transposed roles).
+	for _, ts := range noded.SubB {
+		loc := geom.Locate(ts.Seg.Midpoint(), a)
+		col := Int
+		if ts.Role == geom.RoleRingBoundary {
+			col = Bnd
+			switch loc {
+			case geom.Interior:
+				bRingInIntA = true
+			case geom.Boundary:
+				bRingOnBndA = true
+			default:
+				bRingInExtA = true
+			}
+		}
+		m.Set(rowOfLoc(loc), col, D1)
+	}
+	// Isolated interior points (Point/MultiPoint members).
+	for _, p := range sa.InteriorPoints {
+		m.Set(Int, locToCol(geom.Locate(p, b)), D0)
+	}
+	for _, p := range sb.InteriorPoints {
+		m.Set(rowOfLoc(geom.Locate(p, a)), Int, D0)
+	}
+	// Linestring boundary (endpoint) points.
+	for _, p := range sa.BoundaryPoints {
+		m.Set(Bnd, locToCol(geom.Locate(p, b)), D0)
+	}
+	for _, p := range sb.BoundaryPoints {
+		m.Set(rowOfLoc(geom.Locate(p, a)), Bnd, D0)
+	}
+	// Noding intersection points: 0-dimensional contacts that the
+	// sub-segment midpoints cannot see (e.g. two rings meeting at a
+	// single vertex).
+	for _, p := range noded.Nodes {
+		la, lb := geom.Locate(p, a), geom.Locate(p, b)
+		m.Set(rowOfLoc(la), locToCol(lb), D0)
+	}
+
+	// Area (dimension-2) entries.
+	if sa.HasArea || sb.HasArea {
+		// Interior samples, one per polygonal component.
+		samplesA := areaSamples(a)
+		samplesB := areaSamples(b)
+		var aSampleInIntB, aSampleInExtB, bSampleInIntA, bSampleInExtA bool
+		for _, p := range samplesA {
+			switch geom.Locate(p, b) {
+			case geom.Interior:
+				aSampleInIntB = true
+			case geom.Exterior:
+				aSampleInExtB = true
+			}
+		}
+		for _, p := range samplesB {
+			switch geom.Locate(p, a) {
+			case geom.Interior:
+				bSampleInIntA = true
+			case geom.Exterior:
+				bSampleInExtA = true
+			}
+		}
+		if sa.HasArea && sb.HasArea {
+			// Interior/interior overlap.
+			if aRingInIntB || bRingInIntA || aSampleInIntB || bSampleInIntA {
+				m.Set(Int, Int, D2)
+			}
+			// a's interior outside closure(b)?
+			if aRingInExtB || bRingInIntA || aSampleInExtB {
+				m.Set(Int, Ext, D2)
+			}
+			// b's interior outside closure(a)?
+			if bRingInExtA || aRingInIntB || bSampleInExtA {
+				m.Set(Ext, Int, D2)
+			}
+			_ = aRingOnBndB
+			_ = bRingOnBndA
+		} else if sa.HasArea {
+			// b is lower-dimensional: it cannot cover a's interior.
+			m.Set(Int, Ext, D2)
+			// b's linework/points inside Int(a) already recorded by the
+			// classification passes above.
+		} else {
+			m.Set(Ext, Int, D2)
+		}
+	}
+	return m
+}
+
+// fillAllExterior records that every part of the souped geometry lies in
+// the other operand's exterior: rows (transpose=false) or columns
+// (transpose=true) against Ext.
+func fillAllExterior(m *Matrix, s *geom.Soup, transpose bool) {
+	set := func(r int, d Dim) {
+		if transpose {
+			m.Set(Ext, r, d)
+		} else {
+			m.Set(r, Ext, d)
+		}
+	}
+	if s.HasArea {
+		set(Int, D2)
+		set(Bnd, D1)
+	}
+	if s.HasLine {
+		set(Int, D1)
+		if len(s.BoundaryPoints) > 0 {
+			set(Bnd, D0)
+		}
+	}
+	if s.HasPoint {
+		set(Int, D0)
+	}
+}
+
+// rowOfLoc maps a location of a point relative to geometry a onto the
+// matrix row index.
+func rowOfLoc(l geom.Location) int {
+	switch l {
+	case geom.Interior:
+		return Int
+	case geom.Boundary:
+		return Bnd
+	default:
+		return Ext
+	}
+}
+
+// areaSamples returns one interior sample point per polygonal component.
+func areaSamples(g geom.Geometry) []geom.Point {
+	switch t := g.(type) {
+	case geom.Polygon:
+		if p, ok := geom.InteriorPoint(t); ok {
+			return []geom.Point{p}
+		}
+	case geom.MultiPolygon:
+		var pts []geom.Point
+		for _, poly := range t.Polygons {
+			if p, ok := geom.InteriorPoint(poly); ok {
+				pts = append(pts, p)
+			}
+		}
+		return pts
+	}
+	return nil
+}

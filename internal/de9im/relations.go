@@ -1,0 +1,231 @@
+package de9im
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Relation names a topological relation of the paper's qualitative
+// vocabulary (Egenhofer & Franzosa 9-intersection relations, extended with
+// the OGC crosses relation for mixed dimensions).
+type Relation int
+
+// Topological relations. RelationNone is returned by Classify for empty
+// operands only.
+const (
+	RelationNone Relation = iota
+	Equals
+	Disjoint
+	Touches
+	Contains
+	Within
+	Covers
+	CoveredBy
+	Crosses
+	Overlaps
+)
+
+// String returns the lower-camel name used in predicate rendering
+// ("contains", "coveredBy", ...).
+func (r Relation) String() string {
+	switch r {
+	case RelationNone:
+		return "none"
+	case Equals:
+		return "equals"
+	case Disjoint:
+		return "disjoint"
+	case Touches:
+		return "touches"
+	case Contains:
+		return "contains"
+	case Within:
+		return "within"
+	case Covers:
+		return "covers"
+	case CoveredBy:
+		return "coveredBy"
+	case Crosses:
+		return "crosses"
+	case Overlaps:
+		return "overlaps"
+	}
+	return fmt.Sprintf("de9im.Relation(%d)", int(r))
+}
+
+// Inverse returns the relation seen from the swapped operand order.
+func (r Relation) Inverse() Relation {
+	switch r {
+	case Contains:
+		return Within
+	case Within:
+		return Contains
+	case Covers:
+		return CoveredBy
+	case CoveredBy:
+		return Covers
+	default:
+		// equals, disjoint, touches, crosses, overlaps are symmetric.
+		return r
+	}
+}
+
+// AllRelations lists every named relation, in a stable order.
+func AllRelations() []Relation {
+	return []Relation{
+		Equals, Disjoint, Touches, Contains, Within,
+		Covers, CoveredBy, Crosses, Overlaps,
+	}
+}
+
+// OGC boolean predicates over a computed matrix. These follow the standard
+// simple-features pattern definitions and are not mutually exclusive
+// (contains implies covers, equals implies within, ...). The paper's
+// mutually exclusive Egenhofer classification is provided by Classify.
+
+// IsEquals reports point-set equality.
+func (m Matrix) IsEquals() bool { return m.Matches("T*F**FFF*") }
+
+// IsDisjoint reports an empty intersection.
+func (m Matrix) IsDisjoint() bool { return m.Matches("FF*FF****") }
+
+// IsIntersects reports a non-empty intersection.
+func (m Matrix) IsIntersects() bool { return !m.IsDisjoint() }
+
+// IsTouches reports boundary-only contact.
+func (m Matrix) IsTouches() bool {
+	return m.Matches("FT*******") || m.Matches("F**T*****") || m.Matches("F***T****")
+}
+
+// IsContains reports that b lies in a with interior contact (OGC contains).
+func (m Matrix) IsContains() bool { return m.Matches("T*****FF*") }
+
+// IsWithin reports that a lies in b with interior contact (OGC within).
+func (m Matrix) IsWithin() bool { return m.Matches("T*F**F***") }
+
+// IsCovers reports that b lies in the closure of a.
+func (m Matrix) IsCovers() bool {
+	return m.Matches("T*****FF*") || m.Matches("*T****FF*") ||
+		m.Matches("***T**FF*") || m.Matches("****T*FF*")
+}
+
+// IsCoveredBy reports that a lies in the closure of b.
+func (m Matrix) IsCoveredBy() bool {
+	return m.Matches("T*F**F***") || m.Matches("*TF**F***") ||
+		m.Matches("**FT*F***") || m.Matches("**F*TF***")
+}
+
+// IsCrosses reports a lower-dimensional interior crossing for operand
+// dimensions dimA and dimB (geometry dimensions, 0-2).
+func (m Matrix) IsCrosses(dimA, dimB int) bool {
+	switch {
+	case dimA < dimB:
+		return m.Matches("T*T******")
+	case dimA > dimB:
+		return m.Matches("T*****T**")
+	case dimA == 1 && dimB == 1:
+		return m.Matches("0********")
+	}
+	return false
+}
+
+// IsOverlaps reports a same-dimension partial overlap for operand
+// dimensions dimA and dimB.
+func (m Matrix) IsOverlaps(dimA, dimB int) bool {
+	if dimA != dimB {
+		return false
+	}
+	if dimA == 1 {
+		return m.Matches("1*T***T**")
+	}
+	return m.Matches("T*T***T**")
+}
+
+// Classify returns the single canonical Egenhofer relation between a and
+// b. The relations are mutually exclusive and exhaustive for non-empty
+// operands: exactly one of equals, disjoint, touches, contains, covers,
+// within, coveredBy, crosses, overlaps holds under this classification.
+//
+// The decision rules follow the 9-intersection reading used by the paper:
+// contains/within are strict (no boundary contact), covers/coveredBy have
+// boundary contact, touches has meeting boundaries but disjoint interiors,
+// crosses is the mixed-dimension (or 0-dimensional line/line) interior
+// crossing, and overlaps is the same-dimension partial overlap.
+func Classify(a, b geom.Geometry) Relation {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return RelationNone
+	}
+	m := Relate(a, b)
+	return ClassifyMatrix(m, a.Dimension(), b.Dimension())
+}
+
+// ClassifyMatrix classifies a precomputed matrix; see Classify.
+func ClassifyMatrix(m Matrix, dimA, dimB int) Relation {
+	if m.IsDisjoint() {
+		return Disjoint
+	}
+	if m.IsEquals() {
+		return Equals
+	}
+	if m[Int][Int] == F {
+		return Touches
+	}
+	// Interiors intersect. Containment of b in a?
+	if m[Ext][Int] == F && m[Ext][Bnd] == F {
+		// b inside closure(a); strict when b avoids a's boundary.
+		if m[Bnd][Int] == F && m[Bnd][Bnd] == F {
+			return Contains
+		}
+		return Covers
+	}
+	if m[Int][Ext] == F && m[Bnd][Ext] == F {
+		if m[Int][Bnd] == F && m[Bnd][Bnd] == F {
+			return Within
+		}
+		return CoveredBy
+	}
+	// Partial intersection: crosses when the interior intersection has
+	// lower dimension than the higher-dimensional operand, overlaps
+	// otherwise.
+	maxDim := dimA
+	if dimB > maxDim {
+		maxDim = dimB
+	}
+	if int(m[Int][Int]) < maxDim {
+		return Crosses
+	}
+	return Overlaps
+}
+
+// Holds reports whether the named relation holds between a and b under the
+// OGC (non-exclusive) reading. Covers/contains and their inverses use the
+// OGC patterns; crosses and overlaps take the operand dimensions into
+// account.
+func Holds(r Relation, a, b geom.Geometry) bool {
+	if a == nil || b == nil || a.IsEmpty() || b.IsEmpty() {
+		return false
+	}
+	m := Relate(a, b)
+	switch r {
+	case Equals:
+		return m.IsEquals()
+	case Disjoint:
+		return m.IsDisjoint()
+	case Touches:
+		return m.IsTouches()
+	case Contains:
+		return m.IsContains()
+	case Within:
+		return m.IsWithin()
+	case Covers:
+		return m.IsCovers()
+	case CoveredBy:
+		return m.IsCoveredBy()
+	case Crosses:
+		return m.IsCrosses(a.Dimension(), b.Dimension())
+	case Overlaps:
+		return m.IsOverlaps(a.Dimension(), b.Dimension())
+	}
+	return false
+}

@@ -1,0 +1,211 @@
+package de9im
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestClassifyPolygonPolygon(t *testing.T) {
+	// The "Nonoai district" scenarios of the paper's Figure 2: a district
+	// touches slum180, covers slum183, overlaps slum174 and contains
+	// slum159 — plus equals and disjoint for completeness.
+	district := "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))"
+	cases := []struct {
+		name string
+		b    string
+		want Relation
+	}{
+		{"contains (strictly inside)", "POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))", Contains},
+		{"covers (inside, shared edge)", "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))", Covers},
+		{"touches (external edge)", "POLYGON ((10 0, 14 0, 14 4, 10 4, 10 0))", Touches},
+		{"touches (corner only)", "POLYGON ((10 10, 12 10, 12 12, 10 12, 10 10))", Touches},
+		{"overlaps (straddles boundary)", "POLYGON ((8 8, 14 8, 14 14, 8 14, 8 8))", Overlaps},
+		{"equals", district, Equals},
+		{"disjoint", "POLYGON ((20 20, 22 20, 22 22, 20 22, 20 20))", Disjoint},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Classify(wkt(district), wkt(tc.b))
+			if got != tc.want {
+				t.Errorf("Classify = %v, want %v", got, tc.want)
+			}
+			// The inverse relation must hold in the other direction.
+			if inv := Classify(wkt(tc.b), wkt(district)); inv != tc.want.Inverse() {
+				t.Errorf("inverse Classify = %v, want %v", inv, tc.want.Inverse())
+			}
+		})
+	}
+}
+
+func TestClassifyWithinCoveredBy(t *testing.T) {
+	big := "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))"
+	small := "POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))"
+	if got := Classify(wkt(small), wkt(big)); got != Within {
+		t.Errorf("small in big = %v, want within", got)
+	}
+	edge := "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"
+	if got := Classify(wkt(edge), wkt(big)); got != CoveredBy {
+		t.Errorf("edge-sharing in big = %v, want coveredBy", got)
+	}
+}
+
+func TestClassifyPointCases(t *testing.T) {
+	sq := "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"
+	cases := []struct {
+		name string
+		a, b string
+		want Relation
+	}{
+		// The paper's "district contains policeCenter" point predicate.
+		{"polygon contains interior point", sq, "POINT (2 2)", Contains},
+		{"point within polygon", "POINT (2 2)", sq, Within},
+		{"boundary point touches", "POINT (4 2)", sq, Touches},
+		{"outside point disjoint", "POINT (9 9)", sq, Disjoint},
+		{"equal points", "POINT (1 1)", "POINT (1 1)", Equals},
+		{"point within line", "POINT (2 0)", "LINESTRING (0 0, 4 0)", Within},
+		{"point touches line endpoint", "POINT (0 0)", "LINESTRING (0 0, 4 0)", Touches},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(wkt(tc.a), wkt(tc.b)); got != tc.want {
+				t.Errorf("Classify = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestClassifyLineCases(t *testing.T) {
+	sq := "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"
+	cases := []struct {
+		name string
+		a, b string
+		want Relation
+	}{
+		// The paper's "city crossed by river" predicate.
+		{"line crosses polygon", "LINESTRING (-2 2, 6 2)", sq, Crosses},
+		{"line within polygon", "LINESTRING (1 1, 3 3)", sq, Within},
+		{"line coveredBy polygon (endpoint on rim)", "LINESTRING (0 2, 2 2)", sq, CoveredBy},
+		{"line touches polygon edge", "LINESTRING (0 0, 4 0)", sq, Touches},
+		{"line touches at endpoint", "LINESTRING (4 2, 8 2)", sq, Touches},
+		{"line disjoint", "LINESTRING (9 9, 12 12)", sq, Disjoint},
+		{"lines cross", "LINESTRING (0 0, 4 4)", "LINESTRING (0 4, 4 0)", Crosses},
+		{"lines overlap", "LINESTRING (0 0, 4 0)", "LINESTRING (2 0, 6 0)", Overlaps},
+		{"lines touch endpoints", "LINESTRING (0 0, 2 0)", "LINESTRING (2 0, 4 0)", Touches},
+		{"line within line", "LINESTRING (1 0, 3 0)", "LINESTRING (0 0, 4 0)", Within},
+		{"line coveredBy line (shared endpoint)", "LINESTRING (0 0, 3 0)", "LINESTRING (0 0, 4 0)", CoveredBy},
+		{"lines equal", "LINESTRING (0 0, 4 0)", "LINESTRING (0 0, 4 0)", Equals},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(wkt(tc.a), wkt(tc.b)); got != tc.want {
+				t.Errorf("Classify = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestClassifyEmpty(t *testing.T) {
+	if got := Classify(geom.MultiPoint{}, wkt("POINT (0 0)")); got != RelationNone {
+		t.Errorf("empty operand = %v, want none", got)
+	}
+	if got := Classify(nil, wkt("POINT (0 0)")); got != RelationNone {
+		t.Errorf("nil operand = %v, want none", got)
+	}
+}
+
+func TestClassifyMutuallyExclusive(t *testing.T) {
+	// Over a grid of shifted squares, exactly one canonical relation holds
+	// and it is consistent with the inverse classification.
+	base := wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+	for dx := -5.0; dx <= 5; dx++ {
+		for dy := -5.0; dy <= 5; dy++ {
+			other := geom.Translate(base, dx, dy)
+			r := Classify(base, other)
+			if r == RelationNone {
+				t.Fatalf("no relation for shift (%v, %v)", dx, dy)
+			}
+			inv := Classify(other, base)
+			if inv != r.Inverse() {
+				t.Errorf("shift (%v,%v): %v vs inverse %v", dx, dy, r, inv)
+			}
+		}
+	}
+}
+
+func TestOGCPredicates(t *testing.T) {
+	big := wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")
+	small := wkt("POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))")
+	edge := wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+	far := wkt("POLYGON ((20 20, 22 20, 22 22, 20 22, 20 20))")
+
+	m := Relate(big, small)
+	if !m.IsContains() || !m.IsCovers() || m.IsWithin() || m.IsTouches() {
+		t.Errorf("big/small OGC predicates wrong: %s", m)
+	}
+	// OGC contains holds even with boundary contact (unlike the
+	// Egenhofer strict reading used by Classify).
+	m = Relate(big, edge)
+	if !m.IsContains() || !m.IsCovers() {
+		t.Errorf("big/edge should OGC-contain: %s", m)
+	}
+	m = Relate(edge, big)
+	if !m.IsWithin() || !m.IsCoveredBy() {
+		t.Errorf("edge/big should be OGC-within: %s", m)
+	}
+	m = Relate(big, far)
+	if !m.IsDisjoint() || m.IsIntersects() {
+		t.Errorf("disjoint predicates wrong: %s", m)
+	}
+	m = Relate(big, big)
+	if !m.IsEquals() || !m.IsWithin() || !m.IsContains() {
+		t.Errorf("self relate wrong: %s", m)
+	}
+}
+
+func TestHolds(t *testing.T) {
+	sq := wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+	inner := wkt("POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))")
+	line := wkt("LINESTRING (-2 2, 6 2)")
+	overl := wkt("POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))")
+	cases := []struct {
+		r    Relation
+		a, b geom.Geometry
+		want bool
+	}{
+		{Contains, sq, inner, true},
+		{Within, inner, sq, true},
+		{Covers, sq, inner, true},
+		{CoveredBy, inner, sq, true},
+		{Equals, sq, sq, true},
+		{Disjoint, inner, overl, false},
+		{Touches, sq, geom.Translate(sq, 4, 0), true},
+		{Crosses, line, sq, true},
+		{Overlaps, sq, overl, true},
+		{Crosses, sq, overl, false},
+		{RelationNone, sq, sq, false},
+	}
+	for _, tc := range cases {
+		if got := Holds(tc.r, tc.a, tc.b); got != tc.want {
+			t.Errorf("Holds(%v, %s, %s) = %v, want %v", tc.r, tc.a.WKT(), tc.b.WKT(), got, tc.want)
+		}
+	}
+	if Holds(Equals, geom.MultiPoint{}, sq) {
+		t.Error("Holds with empty operand should be false")
+	}
+}
+
+func TestClassifyOverlapsSameDimLines(t *testing.T) {
+	// Collinear partial overlap is overlaps (dim 1 interior intersection).
+	a := wkt("LINESTRING (0 0, 4 0)")
+	b := wkt("LINESTRING (2 0, 6 0)")
+	if got := Classify(a, b); got != Overlaps {
+		t.Errorf("collinear overlap = %v, want overlaps", got)
+	}
+	// X crossing has a 0-dim interior intersection: crosses.
+	c := wkt("LINESTRING (0 4, 4 0)")
+	d := wkt("LINESTRING (0 0, 4 4)")
+	if got := Classify(c, d); got != Crosses {
+		t.Errorf("X crossing = %v, want crosses", got)
+	}
+}

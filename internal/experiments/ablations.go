@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+)
+
+// Redundancy runs the redundancy-elimination ablation the paper positions
+// itself against (references [4], [9], [19]): closed and maximal
+// itemset filters and non-redundant rule filtering, with and without the
+// KC+ semantic filter. The point the numbers make is the paper's:
+// redundancy elimination shrinks the output but cannot remove the
+// same-feature patterns; KC+ composes with all of it.
+func Redundancy() *Report {
+	r := &Report{
+		ID:    "redundancy",
+		Title: "Redundancy elimination vs the KC+ semantic filter (dataset 1, minsup 10%)",
+	}
+	table, err := datagen.PaperDataset1(datagen.DefaultSeed, datagen.DefaultRows)
+	if err != nil {
+		r.Notes = append(r.Notes, "ERROR: "+err.Error())
+		return r
+	}
+	db := itemset.NewDB(table)
+	cfg := mining.Config{MinSupport: 0.10}
+	full, err := mining.Apriori(db, cfg)
+	if err != nil {
+		r.Notes = append(r.Notes, "ERROR: "+err.Error())
+		return r
+	}
+	plus, err := mining.AprioriKCPlus(db, cfg)
+	if err != nil {
+		r.Notes = append(r.Notes, "ERROR: "+err.Error())
+		return r
+	}
+
+	countSame := func(sets []mining.FrequentItemset) int {
+		n := 0
+		for _, f := range sets {
+			if len(f.Items) >= 2 && f.Items.HasSameFeaturePair(db.Dict) {
+				n++
+			}
+		}
+		return n
+	}
+	countBig := func(sets []mining.FrequentItemset) int {
+		n := 0
+		for _, f := range sets {
+			if len(f.Items) >= 2 {
+				n++
+			}
+		}
+		return n
+	}
+
+	r.Lines = append(r.Lines, fmt.Sprintf("  %-26s %10s %16s", "filter", "itemsets", "same-feature"))
+	rows := []struct {
+		name string
+		sets []mining.FrequentItemset
+	}{
+		{"none (Apriori)", full.Frequent},
+		{"closed [4]", mining.ClosedOnly(full.Frequent)},
+		{"maximal [9]", mining.MaximalOnly(full.Frequent)},
+		{"KC+ (this paper)", plus.Frequent},
+		{"KC+ then closed", mining.ClosedOnly(plus.Frequent)},
+		{"KC+ then maximal", mining.MaximalOnly(plus.Frequent)},
+	}
+	for _, row := range rows {
+		r.Lines = append(r.Lines, fmt.Sprintf("  %-26s %10d %16d",
+			row.name, countBig(row.sets), countSame(row.sets)))
+	}
+
+	// Rule-level redundancy (Zaki [19]).
+	rules := mining.GenerateRules(full, 0.7)
+	nonRed := mining.NonRedundantRules(rules)
+	plusRules := mining.GenerateRules(plus, 0.7)
+	r.Lines = append(r.Lines, "",
+		fmt.Sprintf("  %-26s %10d", "rules (Apriori, conf>=0.7)", len(rules)),
+		fmt.Sprintf("  %-26s %10d", "non-redundant rules [19]", len(nonRed)),
+		fmt.Sprintf("  %-26s %10d", "rules after KC+", len(plusRules)),
+	)
+	sameRules := 0
+	for _, rule := range nonRed {
+		if rule.Antecedent.Union(rule.Consequent).HasSameFeaturePair(db.Dict) {
+			sameRules++
+		}
+	}
+	r.Lines = append(r.Lines, fmt.Sprintf("  %-26s %10d", "  ...still same-feature", sameRules))
+	r.Notes = append(r.Notes,
+		"closed/maximal/non-redundant filtering reduces volume but same-feature patterns survive every redundancy filter; only the KC+ semantic step removes them (the paper's Section 1 argument)")
+	return r
+}

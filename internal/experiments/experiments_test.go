@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	reports := All()
+	if len(reports) != 11 {
+		t.Fatalf("experiments = %d, want 11", len(reports))
+	}
+	seen := map[string]bool{}
+	for _, r := range reports {
+		if r.ID == "" || r.Title == "" {
+			t.Errorf("report missing metadata: %+v", r)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate report ID %q", r.ID)
+		}
+		seen[r.ID] = true
+		if len(r.Lines) == 0 {
+			t.Errorf("%s: no output lines", r.ID)
+		}
+		for _, n := range r.Notes {
+			if strings.HasPrefix(n, "ERROR") {
+				t.Errorf("%s: %s", r.ID, n)
+			}
+		}
+		if !strings.Contains(r.Format(), r.Title) {
+			t.Errorf("%s: Format misses title", r.ID)
+		}
+	}
+}
+
+func TestByIDCoversAll(t *testing.T) {
+	for _, id := range IDs() {
+		r, ok := ByID(id)
+		if !ok {
+			t.Errorf("ByID(%q) unknown", id)
+			continue
+		}
+		if r.ID != id {
+			t.Errorf("ByID(%q) returned %q", id, r.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown ID should not resolve")
+	}
+	// Case-insensitive lookup.
+	if _, ok := ByID("TABLE2"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+}
+
+func TestTable3NoMismatches(t *testing.T) {
+	r := Table3()
+	last := r.Lines[len(r.Lines)-1]
+	if !strings.Contains(last, "mismatches vs paper: 0 / 70") {
+		t.Errorf("Table 3 mismatch line = %q", last)
+	}
+}
+
+func TestTable2ReportNumbers(t *testing.T) {
+	r := Table2()
+	joined := strings.Join(r.Lines, "\n")
+	for _, want := range []string{" 60 ", " 60", "size 6: 1"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Table 2 report missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestGainChecksLowerBoundHolds(t *testing.T) {
+	r := GainChecks42()
+	for _, l := range r.Lines[1:] {
+		if strings.Contains(l, "NO") {
+			t.Errorf("gain lower bound violated: %s", l)
+		}
+	}
+}
+
+func TestFigure4ReductionsReported(t *testing.T) {
+	r := Figure4()
+	// Header + three minsup rows, then a blank line and the bar chart
+	// (three minsup groups x three algorithms).
+	if len(r.Lines) != 14 {
+		t.Fatalf("figure4 lines = %d, want 14", len(r.Lines))
+	}
+	for _, l := range r.Lines[1:4] {
+		if !strings.Contains(l, "%") {
+			t.Errorf("row without reductions: %q", l)
+		}
+	}
+	chart := strings.Join(r.Lines[5:], "\n")
+	if !strings.Contains(chart, "#") {
+		t.Error("figure 4 chart missing bars")
+	}
+	if !strings.Contains(chart, "apriori") || !strings.Contains(chart, "kc+") {
+		t.Error("figure 4 chart missing series names")
+	}
+}

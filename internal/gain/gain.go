@@ -1,0 +1,203 @@
+// Package gain implements Section 4.1 of the paper: the analytic lower
+// bound on the number of frequent itemsets eliminated by Apriori-KC+'s
+// same-feature-type filter.
+//
+// Setting: the largest frequent itemset has m elements, of which u groups
+// are feature types with t_k >= 2 qualitative relations each, plus n other
+// items (m = Σ t_k + n). Every subset of the largest frequent itemset is
+// frequent (anti-monotonicity), so counting its subsets that contain at
+// least two relations of one feature type lower-bounds the filter's gain.
+//
+// The paper states this as Formula (1), a sum over multinomial choices
+// with the constraint ∃k: j_k >= 2. The closed form is
+//
+//	gain = 2^m − 2^n · Π_{k=1..u} (1 + t_k)
+//
+// (total subsets minus subsets taking at most one relation per feature
+// type; subsets of size < 2 never satisfy the constraint, so no size
+// correction is needed). MinGain implements the closed form, MinGainEnum
+// the literal enumeration; TestClosedFormMatchesEnumeration proves them
+// equal. The closed form reproduces every published number — all of
+// Table 3, Figure 3, and the Section 4.2 predictions (148 and 74) — while
+// the paper's single worked example for Table 2 (printing 33 where the
+// value is 28) appears to be an arithmetic slip; see EXPERIMENTS.md.
+package gain
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// MinGain returns the minimum number of frequent itemsets eliminated by
+// the same-feature filter, given the largest frequent itemset's
+// composition: ts[k] is the number of qualitative relations of feature
+// type k (each must be >= 2 to contribute; a group of 1 is equivalent to
+// an extra independent item), and n is the number of remaining items.
+// The result is exact for m <= 62; use MinGainBig beyond.
+func MinGain(ts []int, n int) (uint64, error) {
+	m := n
+	for _, t := range ts {
+		if t < 1 {
+			return 0, fmt.Errorf("gain: group size must be >= 1, got %d", t)
+		}
+		m += t
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("gain: n must be >= 0, got %d", n)
+	}
+	if m > 62 {
+		return 0, fmt.Errorf("gain: m = %d exceeds 62; use MinGainBig", m)
+	}
+	total := uint64(1) << uint(m)
+	valid := uint64(1) << uint(n)
+	for _, t := range ts {
+		valid *= uint64(t) + 1
+	}
+	return total - valid, nil
+}
+
+// MinGainBig is MinGain in arbitrary precision, for compositions beyond
+// 62 items.
+func MinGainBig(ts []int, n int) (*big.Int, error) {
+	m := n
+	for _, t := range ts {
+		if t < 1 {
+			return nil, fmt.Errorf("gain: group size must be >= 1, got %d", t)
+		}
+		m += t
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("gain: n must be >= 0, got %d", n)
+	}
+	total := new(big.Int).Lsh(big.NewInt(1), uint(m))
+	valid := new(big.Int).Lsh(big.NewInt(1), uint(n))
+	for _, t := range ts {
+		valid.Mul(valid, big.NewInt(int64(t)+1))
+	}
+	return total.Sub(total, valid), nil
+}
+
+// MinGainEnum computes the same quantity by literally enumerating every
+// subset of the largest frequent itemset and testing the ∃k: j_k >= 2
+// constraint — Formula (1) as printed. Exponential in m; use in tests.
+func MinGainEnum(ts []int, n int) (uint64, error) {
+	m := n
+	for _, t := range ts {
+		if t < 1 {
+			return 0, fmt.Errorf("gain: group size must be >= 1, got %d", t)
+		}
+		m += t
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("gain: n must be >= 0, got %d", n)
+	}
+	if m > 24 {
+		return 0, fmt.Errorf("gain: enumeration limited to m <= 24, got %d", m)
+	}
+	// Items 0..m-1: the first len(ts) blocks belong to the feature-type
+	// groups, the last n items are independent.
+	groupOf := make([]int, m)
+	idx := 0
+	for g, t := range ts {
+		for i := 0; i < t; i++ {
+			groupOf[idx] = g
+			idx++
+		}
+	}
+	for ; idx < m; idx++ {
+		groupOf[idx] = -1
+	}
+	var count uint64
+	perGroup := make([]int, len(ts))
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		for g := range perGroup {
+			perGroup[g] = 0
+		}
+		bad := false
+		for i := 0; i < m && !bad; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			if g := groupOf[i]; g >= 0 {
+				perGroup[g]++
+				if perGroup[g] >= 2 {
+					bad = true
+				}
+			}
+		}
+		if bad {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// TotalLowerBound returns Σ_{i=2..m} C(m, i) = 2^m − m − 1, the paper's
+// lower bound on the total number of frequent itemsets (with two or more
+// elements) when the largest frequent itemset has m elements.
+func TotalLowerBound(m int) (uint64, error) {
+	if m < 0 || m > 62 {
+		return 0, fmt.Errorf("gain: m must be in [0, 62], got %d", m)
+	}
+	total := uint64(1) << uint(m)
+	return total - uint64(m) - 1, nil
+}
+
+// UniformGain is MinGain for u groups of equal size t: the shape used by
+// Table 3 (u = 1) and the Section 4.2 checks (u = 3, t = 2).
+func UniformGain(u, t, n int) (uint64, error) {
+	if u < 0 {
+		return 0, fmt.Errorf("gain: u must be >= 0, got %d", u)
+	}
+	ts := make([]int, u)
+	for i := range ts {
+		ts[i] = t
+	}
+	return MinGain(ts, n)
+}
+
+// Table3 reproduces the paper's Table 3: minimal gain for a single
+// feature-type group (u = 1) with t1 = 2..8 columns and n = 1..10 rows.
+// The returned matrix is indexed [n-1][t1-2].
+func Table3() [][]uint64 {
+	out := make([][]uint64, 10)
+	for n := 1; n <= 10; n++ {
+		row := make([]uint64, 7)
+		for t1 := 2; t1 <= 8; t1++ {
+			g, err := UniformGain(1, t1, n)
+			if err != nil {
+				panic(err) // unreachable: all inputs in range
+			}
+			row[t1-2] = g
+		}
+		out[n-1] = row
+	}
+	return out
+}
+
+// SurfacePoint is one (t1, n, gain) sample of Figure 3's surface.
+type SurfacePoint struct {
+	T1, N int
+	Gain  uint64
+}
+
+// Surface reproduces the paper's Figure 3: the minimal-gain surface for
+// u = 1 over t1 = 1..t1Max and n = 1..nMax. Note t1 = 1 yields gain 0
+// (one relation of a feature type can never form a same-feature pair),
+// which is the flat edge visible in the figure.
+func Surface(t1Max, nMax int) ([]SurfacePoint, error) {
+	if t1Max < 1 || nMax < 1 {
+		return nil, fmt.Errorf("gain: surface bounds must be >= 1, got %d, %d", t1Max, nMax)
+	}
+	var pts []SurfacePoint
+	for t1 := 1; t1 <= t1Max; t1++ {
+		for n := 1; n <= nMax; n++ {
+			g, err := UniformGain(1, t1, n)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, SurfacePoint{T1: t1, N: n, Gain: g})
+		}
+	}
+	return pts, nil
+}

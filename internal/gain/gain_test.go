@@ -1,0 +1,275 @@
+package gain
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTable3Exact checks every one of the 70 published Table 3 values.
+func TestTable3Exact(t *testing.T) {
+	// Rows n = 1..10, columns t1 = 2..8, transcribed from the paper.
+	want := [][]uint64{
+		{2, 8, 22, 52, 114, 240, 494},
+		{4, 16, 44, 104, 228, 480, 988},
+		{8, 32, 88, 208, 456, 960, 1976},
+		{16, 64, 176, 416, 912, 1920, 3952},
+		{32, 128, 352, 832, 1824, 3840, 7904},
+		{64, 256, 704, 1664, 3648, 7680, 15808},
+		{128, 512, 1408, 3328, 7296, 15360, 31616},
+		{256, 1024, 2816, 6656, 14592, 30720, 63232},
+		{512, 2048, 5632, 13312, 29184, 61440, 126464},
+		{1024, 4096, 11264, 26624, 58368, 122880, 252928},
+	}
+	got := Table3()
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("Table3[n=%d][t1=%d] = %d, want %d", i+1, j+2, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestSection42GainPredictions checks the two worked predictions in the
+// paper's Section 4.2.
+func TestSection42GainPredictions(t *testing.T) {
+	// m = 8, u = 3, t1 = t2 = t3 = n = 2 -> 148.
+	g, err := MinGain([]int{2, 2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 148 {
+		t.Errorf("gain(2,2,2; n=2) = %d, want 148", g)
+	}
+	// m = 7, u = 3, t = 2,2,2, n = 1 -> 74.
+	g, err = MinGain([]int{2, 2, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 74 {
+		t.Errorf("gain(2,2,2; n=1) = %d, want 74", g)
+	}
+}
+
+// TestPaperWorkedExampleErratum documents the Table 2 worked example: the
+// paper prints a minimal gain of 33 for m=6, u=2, t1=t2=2, n=2, but the
+// formula (and exhaustive enumeration) gives 28, which correctly
+// lower-bounds the 30 same-feature itemsets of the Table 2 data.
+func TestPaperWorkedExampleErratum(t *testing.T) {
+	g, err := MinGain([]int{2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 28 {
+		t.Errorf("gain(2,2; n=2) = %d, want 28 (paper misprints 33)", g)
+	}
+	e, err := MinGainEnum([]int{2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 28 {
+		t.Errorf("enumerated gain = %d, want 28", e)
+	}
+}
+
+// TestClosedFormMatchesEnumeration proves the closed form equals the
+// paper's Formula (1) enumeration over random compositions.
+func TestClosedFormMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		u := rng.Intn(4)
+		ts := make([]int, u)
+		m := 0
+		for i := range ts {
+			ts[i] = 1 + rng.Intn(4)
+			m += ts[i]
+		}
+		n := rng.Intn(6)
+		if m+n > 18 { // keep enumeration fast
+			continue
+		}
+		closed, err := MinGain(ts, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enum, err := MinGainEnum(ts, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if closed != enum {
+			t.Fatalf("ts=%v n=%d: closed %d != enum %d", ts, n, closed, enum)
+		}
+	}
+}
+
+func TestMinGainBigAgreesWithUint64(t *testing.T) {
+	cases := []struct {
+		ts []int
+		n  int
+	}{
+		{[]int{2, 2}, 2},
+		{[]int{2, 2, 2}, 2},
+		{[]int{8}, 10},
+		{[]int{3, 4, 5}, 7},
+	}
+	for _, tc := range cases {
+		small, err := MinGain(tc.ts, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := MinGainBig(tc.ts, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !big.IsUint64() || big.Uint64() != small {
+			t.Errorf("ts=%v n=%d: big %s != %d", tc.ts, tc.n, big, small)
+		}
+	}
+	// Beyond 62 items only MinGainBig works.
+	ts := []int{40, 40}
+	if _, err := MinGain(ts, 0); err == nil {
+		t.Error("MinGain should refuse m > 62")
+	}
+	b, err := MinGainBig(ts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Sign() <= 0 {
+		t.Error("big gain must be positive")
+	}
+}
+
+func TestTotalLowerBound(t *testing.T) {
+	// Section 4.1: m = 6 -> 57, "correct because Table 2 contains 60".
+	got, err := TotalLowerBound(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 57 {
+		t.Errorf("TotalLowerBound(6) = %d, want 57", got)
+	}
+	// Σ C(m,i) for i=2..m equals 2^m - m - 1.
+	for m := 0; m <= 20; m++ {
+		got, err := TotalLowerBound(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(0)
+		for i := 2; i <= m; i++ {
+			want += binom(m, i)
+		}
+		if got != want {
+			t.Errorf("TotalLowerBound(%d) = %d, want %d", m, got, want)
+		}
+	}
+	if _, err := TotalLowerBound(-1); err == nil {
+		t.Error("negative m should fail")
+	}
+	if _, err := TotalLowerBound(63); err == nil {
+		t.Error("m > 62 should fail")
+	}
+}
+
+func binom(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := uint64(1)
+	for i := 0; i < k; i++ {
+		r = r * uint64(n-i) / uint64(i+1)
+	}
+	return r
+}
+
+func TestMinGainErrors(t *testing.T) {
+	if _, err := MinGain([]int{0}, 1); err == nil {
+		t.Error("zero group should fail")
+	}
+	if _, err := MinGain([]int{2}, -1); err == nil {
+		t.Error("negative n should fail")
+	}
+	if _, err := MinGainBig([]int{0}, 1); err == nil {
+		t.Error("big: zero group should fail")
+	}
+	if _, err := MinGainBig([]int{2}, -1); err == nil {
+		t.Error("big: negative n should fail")
+	}
+	if _, err := MinGainEnum([]int{0}, 1); err == nil {
+		t.Error("enum: zero group should fail")
+	}
+	if _, err := MinGainEnum([]int{2}, -1); err == nil {
+		t.Error("enum: negative n should fail")
+	}
+	if _, err := MinGainEnum([]int{20}, 20); err == nil {
+		t.Error("enum: huge m should fail")
+	}
+	if _, err := UniformGain(-1, 2, 2); err == nil {
+		t.Error("uniform: negative u should fail")
+	}
+}
+
+func TestGainSingleRelationGroupIsZeroContribution(t *testing.T) {
+	// A feature type with a single relation can never form a
+	// same-feature pair: gain(t=1, n) must be 0 and adding such a group
+	// is the same as adding one more independent item.
+	g, err := UniformGain(1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 0 {
+		t.Errorf("gain(t1=1) = %d, want 0", g)
+	}
+	a, _ := MinGain([]int{3, 1}, 4)
+	b, _ := MinGain([]int{3}, 5)
+	if a != b {
+		t.Errorf("singleton group not equivalent to extra item: %d vs %d", a, b)
+	}
+}
+
+func TestGainMonotonicity(t *testing.T) {
+	// Gain grows with both t1 and n.
+	prev := uint64(0)
+	for t1 := 2; t1 <= 10; t1++ {
+		g, _ := UniformGain(1, t1, 3)
+		if g <= prev {
+			t.Errorf("gain not increasing in t1 at %d: %d <= %d", t1, g, prev)
+		}
+		prev = g
+	}
+	prev = 0
+	for n := 1; n <= 10; n++ {
+		g, _ := UniformGain(1, 3, n)
+		if g <= prev {
+			t.Errorf("gain not increasing in n at %d: %d <= %d", n, g, prev)
+		}
+		prev = g
+	}
+	// Doubling law visible in Table 3: each +1 in n doubles the gain.
+	g1, _ := UniformGain(1, 4, 3)
+	g2, _ := UniformGain(1, 4, 4)
+	if g2 != 2*g1 {
+		t.Errorf("doubling law broken: %d -> %d", g1, g2)
+	}
+}
+
+func TestSurface(t *testing.T) {
+	pts, err := Surface(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 80 {
+		t.Fatalf("surface points = %d, want 80", len(pts))
+	}
+	// The t1 = 1 edge is flat zero; the far corner matches Table 3.
+	for _, p := range pts {
+		if p.T1 == 1 && p.Gain != 0 {
+			t.Errorf("surface(1, %d) = %d, want 0", p.N, p.Gain)
+		}
+		if p.T1 == 8 && p.N == 10 && p.Gain != 252928 {
+			t.Errorf("surface(8, 10) = %d, want 252928", p.Gain)
+		}
+	}
+	if _, err := Surface(0, 5); err == nil {
+		t.Error("zero bounds should fail")
+	}
+}

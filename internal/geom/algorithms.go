@@ -1,0 +1,204 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// ConvexHull returns the convex hull of the input points as a
+// counterclockwise ring (Andrew's monotone chain). Degenerate inputs
+// (fewer than 3 distinct non-collinear points) return a ring with fewer
+// than 3 coordinates; callers needing an area should check NumSegments.
+func ConvexHull(points []Point) Ring {
+	pts := dedupePoints(points)
+	if len(pts) < 3 {
+		return Ring{Coords: pts}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+	// Lower hull.
+	var lower []Point
+	for _, p := range pts {
+		for len(lower) >= 2 && Orientation(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	// Upper hull.
+	var upper []Point
+	for i := len(pts) - 1; i >= 0; i-- {
+		p := pts[i]
+		for len(upper) >= 2 && Orientation(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	// Concatenate, dropping the duplicated endpoints.
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	return Ring{Coords: hull}
+}
+
+// dedupePoints removes exact duplicates, preserving first occurrence.
+func dedupePoints(points []Point) []Point {
+	seen := make(map[Point]struct{}, len(points))
+	out := make([]Point, 0, len(points))
+	for _, p := range points {
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Simplify reduces a linestring with the Douglas-Peucker algorithm: the
+// result deviates from the input by at most tolerance. Endpoints are
+// always kept.
+func Simplify(l LineString, tolerance float64) LineString {
+	if len(l.Coords) <= 2 || tolerance <= 0 {
+		return LineString{Coords: append([]Point{}, l.Coords...)}
+	}
+	keep := make([]bool, len(l.Coords))
+	keep[0], keep[len(l.Coords)-1] = true, true
+	douglasPeucker(l.Coords, 0, len(l.Coords)-1, tolerance, keep)
+	out := make([]Point, 0, len(l.Coords))
+	for i, k := range keep {
+		if k {
+			out = append(out, l.Coords[i])
+		}
+	}
+	return LineString{Coords: out}
+}
+
+// douglasPeucker marks the points to keep between indices lo and hi.
+func douglasPeucker(coords []Point, lo, hi int, tol float64, keep []bool) {
+	if hi <= lo+1 {
+		return
+	}
+	seg := Segment{coords[lo], coords[hi]}
+	worst, worstDist := -1, tol
+	for i := lo + 1; i < hi; i++ {
+		if d := seg.DistanceToPoint(coords[i]); d > worstDist {
+			worst, worstDist = i, d
+		}
+	}
+	if worst < 0 {
+		return
+	}
+	keep[worst] = true
+	douglasPeucker(coords, lo, worst, tol, keep)
+	douglasPeucker(coords, worst, hi, tol, keep)
+}
+
+// SimplifyRing applies Douglas-Peucker to a ring, keeping at least a
+// triangle. The vertex with the lowest index is treated as both endpoints.
+func SimplifyRing(r Ring, tolerance float64) Ring {
+	if len(r.Coords) <= 4 || tolerance <= 0 {
+		return Ring{Coords: append([]Point{}, r.Coords...)}
+	}
+	closed := append(append([]Point{}, r.Coords...), r.Coords[0])
+	simplified := Simplify(LineString{Coords: closed}, tolerance).Coords
+	simplified = simplified[:len(simplified)-1] // drop the closing copy
+	if len(simplified) < 3 {
+		return Ring{Coords: append([]Point{}, r.Coords...)}
+	}
+	return Ring{Coords: simplified}
+}
+
+// Affine is a 2-D affine transform: x' = A·x + b, row-major
+// [XX XY; YX YY] with translation (TX, TY).
+type Affine struct {
+	XX, XY, YX, YY float64
+	TX, TY         float64
+}
+
+// IdentityAffine returns the identity transform.
+func IdentityAffine() Affine { return Affine{XX: 1, YY: 1} }
+
+// TranslateAffine returns a pure translation.
+func TranslateAffine(dx, dy float64) Affine { return Affine{XX: 1, YY: 1, TX: dx, TY: dy} }
+
+// ScaleAffine returns a scaling about the origin.
+func ScaleAffine(sx, sy float64) Affine { return Affine{XX: sx, YY: sy} }
+
+// RotateAffine returns a counterclockwise rotation by theta radians about
+// the origin.
+func RotateAffine(theta float64) Affine {
+	s, c := math.Sincos(theta)
+	return Affine{XX: c, XY: -s, YX: s, YY: c}
+}
+
+// RotateAround returns a rotation about an arbitrary center: translate
+// the center to the origin, rotate, translate back.
+func RotateAround(theta float64, center Point) Affine {
+	return TranslateAffine(-center.X, -center.Y).
+		Then(RotateAffine(theta)).
+		Then(TranslateAffine(center.X, center.Y))
+}
+
+// Then returns the transform that applies t first, then next.
+func (t Affine) Then(next Affine) Affine { return next.compose(t) }
+
+// compose returns t ∘ o (apply o first).
+func (t Affine) compose(o Affine) Affine {
+	return Affine{
+		XX: t.XX*o.XX + t.XY*o.YX,
+		XY: t.XX*o.XY + t.XY*o.YY,
+		YX: t.YX*o.XX + t.YY*o.YX,
+		YY: t.YX*o.XY + t.YY*o.YY,
+		TX: t.XX*o.TX + t.XY*o.TY + t.TX,
+		TY: t.YX*o.TX + t.YY*o.TY + t.TY,
+	}
+}
+
+// Apply transforms a point.
+func (t Affine) Apply(p Point) Point {
+	return Point{
+		X: t.XX*p.X + t.XY*p.Y + t.TX,
+		Y: t.YX*p.X + t.YY*p.Y + t.TY,
+	}
+}
+
+// Transform applies the affine map to any geometry, returning a new
+// geometry sharing no storage with the input.
+func Transform(g Geometry, t Affine) Geometry {
+	mapPts := func(ps []Point) []Point {
+		out := make([]Point, len(ps))
+		for i, p := range ps {
+			out[i] = t.Apply(p)
+		}
+		return out
+	}
+	switch v := g.(type) {
+	case Point:
+		return t.Apply(v)
+	case MultiPoint:
+		return MultiPoint{Points: mapPts(v.Points)}
+	case LineString:
+		return LineString{Coords: mapPts(v.Coords)}
+	case MultiLineString:
+		lines := make([]LineString, len(v.Lines))
+		for i, l := range v.Lines {
+			lines[i] = LineString{Coords: mapPts(l.Coords)}
+		}
+		return MultiLineString{Lines: lines}
+	case Polygon:
+		holes := make([]Ring, len(v.Holes))
+		for i, h := range v.Holes {
+			holes[i] = Ring{Coords: mapPts(h.Coords)}
+		}
+		return Polygon{Shell: Ring{Coords: mapPts(v.Shell.Coords)}, Holes: holes}
+	case MultiPolygon:
+		polys := make([]Polygon, len(v.Polygons))
+		for i, p := range v.Polygons {
+			polys[i] = Transform(p, t).(Polygon)
+		}
+		return MultiPolygon{Polygons: polys}
+	}
+	panic("geom: unknown geometry type")
+}

@@ -1,0 +1,127 @@
+package geom
+
+// ClipToConvex clips a polygon's shell against a convex clip ring using
+// the Sutherland–Hodgman algorithm and returns the clipped polygon. The
+// clip ring must be convex (e.g. a rectangle or a convex hull); the
+// subject may be any simple polygon, though holes are ignored (see
+// IntersectionArea for hole-aware area computation). An empty result
+// means the shapes' interiors do not intersect.
+func ClipToConvex(subject Ring, clip Ring) Ring {
+	if len(subject.Coords) < 3 || len(clip.Coords) < 3 {
+		return Ring{}
+	}
+	// Normalise the clip ring to counterclockwise so "inside" is always
+	// the left side of each directed edge.
+	clipCoords := clip.Coords
+	if !clip.IsCCW() {
+		clipCoords = reversePoints(clipCoords)
+	}
+	output := append([]Point{}, subject.Coords...)
+	n := len(clipCoords)
+	for i := 0; i < n && len(output) > 0; i++ {
+		a := clipCoords[i]
+		b := clipCoords[(i+1)%n]
+		output = clipAgainstEdge(output, a, b)
+	}
+	// Drop near-duplicate consecutive vertices introduced by clipping.
+	output = dedupeRing(output)
+	if len(output) < 3 {
+		return Ring{}
+	}
+	return Ring{Coords: output}
+}
+
+// clipAgainstEdge keeps the part of the subject on the left of the
+// directed edge a->b.
+func clipAgainstEdge(subject []Point, a, b Point) []Point {
+	var out []Point
+	n := len(subject)
+	for i := 0; i < n; i++ {
+		cur := subject[i]
+		prev := subject[(i+n-1)%n]
+		curIn := Orientation(a, b, cur) >= 0
+		prevIn := Orientation(a, b, prev) >= 0
+		switch {
+		case curIn && prevIn:
+			out = append(out, cur)
+		case curIn && !prevIn:
+			if p, ok := lineIntersection(prev, cur, a, b); ok {
+				out = append(out, p)
+			}
+			out = append(out, cur)
+		case !curIn && prevIn:
+			if p, ok := lineIntersection(prev, cur, a, b); ok {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// lineIntersection intersects the infinite lines through (p1, p2) and
+// (p3, p4).
+func lineIntersection(p1, p2, p3, p4 Point) (Point, bool) {
+	d1 := p2.Sub(p1)
+	d2 := p4.Sub(p3)
+	den := d1.Cross(d2)
+	if den == 0 {
+		return Point{}, false
+	}
+	t := p3.Sub(p1).Cross(d2) / den
+	return p1.Add(d1.Scale(t)), true
+}
+
+// reversePoints returns the coordinates in reverse order.
+func reversePoints(ps []Point) []Point {
+	out := make([]Point, len(ps))
+	for i, p := range ps {
+		out[len(ps)-1-i] = p
+	}
+	return out
+}
+
+// dedupeRing removes consecutive near-duplicate vertices (including the
+// wrap-around pair).
+func dedupeRing(ps []Point) []Point {
+	if len(ps) == 0 {
+		return ps
+	}
+	out := ps[:0]
+	for i, p := range ps {
+		if i == 0 || p.DistanceTo(out[len(out)-1]) > Eps {
+			out = append(out, p)
+		}
+	}
+	for len(out) > 1 && out[0].DistanceTo(out[len(out)-1]) <= Eps {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// IntersectionArea returns the area of intersection between polygon p and
+// a convex clip polygon. Holes of p are subtracted (clipped against the
+// same region); holes of the clip polygon are not supported and must be
+// empty.
+func IntersectionArea(p Polygon, convexClip Polygon) float64 {
+	if len(convexClip.Holes) != 0 {
+		panic("geom: IntersectionArea clip polygon must have no holes")
+	}
+	area := ClipToConvex(p.Shell, convexClip.Shell).Area()
+	for _, h := range p.Holes {
+		area -= ClipToConvex(h, convexClip.Shell).Area()
+	}
+	if area < 0 {
+		area = 0
+	}
+	return area
+}
+
+// OverlapFraction returns |p ∩ clip| / |p|: the fraction of p's area that
+// lies inside the convex clip polygon. Degenerate p yields 0.
+func OverlapFraction(p Polygon, convexClip Polygon) float64 {
+	total := p.Area()
+	if total <= 0 {
+		return 0
+	}
+	return IntersectionArea(p, convexClip) / total
+}

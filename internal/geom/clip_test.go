@@ -1,0 +1,132 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClipOverlappingSquares(t *testing.T) {
+	subject := Rect(0, 0, 4, 4)
+	clip := Rect(2, 2, 6, 6)
+	out := ClipToConvex(subject.Shell, clip.Shell)
+	if got := out.Area(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("clip area = %v, want 4", got)
+	}
+}
+
+func TestClipContainment(t *testing.T) {
+	// Subject inside clip: unchanged area.
+	subject := Rect(1, 1, 3, 3)
+	clip := Rect(0, 0, 10, 10)
+	out := ClipToConvex(subject.Shell, clip.Shell)
+	if got := out.Area(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("contained clip area = %v, want 4", got)
+	}
+	// Clip inside subject: clip's area.
+	out = ClipToConvex(clip.Shell, subject.Shell)
+	if got := out.Area(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("covering clip area = %v, want 4", got)
+	}
+}
+
+func TestClipDisjoint(t *testing.T) {
+	out := ClipToConvex(Rect(0, 0, 1, 1).Shell, Rect(5, 5, 6, 6).Shell)
+	if len(out.Coords) != 0 {
+		t.Errorf("disjoint clip = %v", out.Coords)
+	}
+}
+
+func TestClipDegenerate(t *testing.T) {
+	if out := ClipToConvex(Ring{}, Rect(0, 0, 1, 1).Shell); len(out.Coords) != 0 {
+		t.Error("empty subject")
+	}
+	if out := ClipToConvex(Rect(0, 0, 1, 1).Shell, Ring{}); len(out.Coords) != 0 {
+		t.Error("empty clip")
+	}
+}
+
+func TestClipClockwiseClipRing(t *testing.T) {
+	// A clockwise clip ring must be handled by normalisation.
+	cw := Ring{Coords: []Point{Pt(2, 2), Pt(2, 6), Pt(6, 6), Pt(6, 2)}}
+	out := ClipToConvex(Rect(0, 0, 4, 4).Shell, cw)
+	if got := out.Area(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("cw clip area = %v, want 4", got)
+	}
+}
+
+func TestClipTriangleAgainstSquare(t *testing.T) {
+	// Triangle poking out of the right side of the square.
+	tri := Poly(Pt(2, 1), Pt(8, 3), Pt(2, 5))
+	clip := Rect(0, 0, 4, 6)
+	out := ClipToConvex(tri.Shell, clip.Shell)
+	// Exact area by shoelace of the clipped shape: the triangle has
+	// vertices (2,1),(8,3),(2,5); the clip line x=4 cuts it at
+	// (4, 1.6666...) and (4, 4.3333...). Area = full (12) minus the cut
+	// tip, a triangle with base |4.3333-1.6666| = 2.6667 at x=4 and apex
+	// (8,3): area = 0.5*2.6667*4 = 5.3333. Remaining = 6.6667.
+	want := 12.0 - 0.5*(8.0/3.0)*4.0
+	if got := out.Area(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("triangle clip area = %v, want %v", got, want)
+	}
+}
+
+func TestIntersectionAreaWithHole(t *testing.T) {
+	donut := Polygon{
+		Shell: Ring{Coords: []Point{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}},
+		Holes: []Ring{{Coords: []Point{Pt(2, 2), Pt(6, 2), Pt(6, 6), Pt(2, 6)}}},
+	}
+	clip := Rect(0, 0, 6, 6)
+	// Clip region is 36; hole ∩ clip is 16 -> 20.
+	if got := IntersectionArea(donut, clip); math.Abs(got-20) > 1e-9 {
+		t.Errorf("holed intersection area = %v, want 20", got)
+	}
+}
+
+func TestIntersectionAreaPanicsOnHoledClip(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("holed clip should panic")
+		}
+	}()
+	holed := Polygon{
+		Shell: Ring{Coords: []Point{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)}},
+		Holes: []Ring{{Coords: []Point{Pt(1, 1), Pt(2, 1), Pt(2, 2), Pt(1, 2)}}},
+	}
+	IntersectionArea(Rect(0, 0, 1, 1), holed)
+}
+
+func TestOverlapFraction(t *testing.T) {
+	// Half of the subject inside the clip.
+	subject := Rect(0, 0, 4, 2)
+	clip := Rect(2, 0, 10, 10)
+	if got := OverlapFraction(subject, clip); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("overlap fraction = %v, want 0.5", got)
+	}
+	if got := OverlapFraction(subject, Rect(100, 100, 101, 101)); got != 0 {
+		t.Errorf("disjoint fraction = %v", got)
+	}
+	if got := OverlapFraction(subject, Rect(-10, -10, 20, 20)); math.Abs(got-1) > 1e-9 {
+		t.Errorf("contained fraction = %v", got)
+	}
+	if got := OverlapFraction(Polygon{}, clip); got != 0 {
+		t.Errorf("empty subject fraction = %v", got)
+	}
+}
+
+func TestClipAreaNeverExceedsOperands(t *testing.T) {
+	// Property: the clipped area is bounded by both operand areas, and
+	// matches Intersects.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 300; trial++ {
+		a := Rect(rng.Float64()*10, rng.Float64()*10, 10+rng.Float64()*10, 10+rng.Float64()*10)
+		c := Rect(rng.Float64()*20, rng.Float64()*20, 20+rng.Float64()*5, 20+rng.Float64()*5)
+		area := IntersectionArea(a, c)
+		if area < -1e-9 || area > a.Area()+1e-9 || area > c.Area()+1e-9 {
+			t.Fatalf("area %v out of bounds (a=%v c=%v)", area, a.Area(), c.Area())
+		}
+		if area > 1e-9 && !Intersects(a, c) {
+			t.Fatalf("positive area but Intersects=false")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package geom
+
+import "math"
+
+// Envelope is an axis-aligned bounding box. An envelope with MinX > MaxX is
+// empty (see EmptyEnvelope).
+type Envelope struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyEnvelope returns the canonical empty envelope, the identity for
+// Union.
+func EmptyEnvelope() Envelope {
+	return Envelope{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// NewEnvelope constructs an envelope from two corner points given in any
+// order.
+func NewEnvelope(a, b Point) Envelope {
+	return Envelope{
+		MinX: math.Min(a.X, b.X), MinY: math.Min(a.Y, b.Y),
+		MaxX: math.Max(a.X, b.X), MaxY: math.Max(a.Y, b.Y),
+	}
+}
+
+// IsEmpty reports whether the envelope contains no points.
+func (e Envelope) IsEmpty() bool { return e.MinX > e.MaxX || e.MinY > e.MaxY }
+
+// Width returns the X extent, or 0 when empty.
+func (e Envelope) Width() float64 {
+	if e.IsEmpty() {
+		return 0
+	}
+	return e.MaxX - e.MinX
+}
+
+// Height returns the Y extent, or 0 when empty.
+func (e Envelope) Height() float64 {
+	if e.IsEmpty() {
+		return 0
+	}
+	return e.MaxY - e.MinY
+}
+
+// Area returns the covered area, or 0 when empty.
+func (e Envelope) Area() float64 { return e.Width() * e.Height() }
+
+// Perimeter returns half the boundary length (width + height), the usual
+// R-tree enlargement metric.
+func (e Envelope) Perimeter() float64 { return e.Width() + e.Height() }
+
+// Center returns the midpoint of the envelope.
+func (e Envelope) Center() Point {
+	return Point{(e.MinX + e.MaxX) / 2, (e.MinY + e.MaxY) / 2}
+}
+
+// ExpandToPoint returns the smallest envelope covering both e and p.
+func (e Envelope) ExpandToPoint(p Point) Envelope {
+	return Envelope{
+		MinX: math.Min(e.MinX, p.X), MinY: math.Min(e.MinY, p.Y),
+		MaxX: math.Max(e.MaxX, p.X), MaxY: math.Max(e.MaxY, p.Y),
+	}
+}
+
+// Union returns the smallest envelope covering both operands.
+func (e Envelope) Union(o Envelope) Envelope {
+	if e.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return e
+	}
+	return Envelope{
+		MinX: math.Min(e.MinX, o.MinX), MinY: math.Min(e.MinY, o.MinY),
+		MaxX: math.Max(e.MaxX, o.MaxX), MaxY: math.Max(e.MaxY, o.MaxY),
+	}
+}
+
+// Intersects reports whether the two envelopes share at least one point
+// (boundary contact counts).
+func (e Envelope) Intersects(o Envelope) bool {
+	if e.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return e.MinX <= o.MaxX && o.MinX <= e.MaxX &&
+		e.MinY <= o.MaxY && o.MinY <= e.MaxY
+}
+
+// Contains reports whether o lies entirely inside e (boundary contact
+// allowed).
+func (e Envelope) Contains(o Envelope) bool {
+	if e.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return e.MinX <= o.MinX && o.MaxX <= e.MaxX &&
+		e.MinY <= o.MinY && o.MaxY <= e.MaxY
+}
+
+// ContainsPoint reports whether p lies inside or on the boundary of e.
+func (e Envelope) ContainsPoint(p Point) bool {
+	return !e.IsEmpty() &&
+		e.MinX <= p.X && p.X <= e.MaxX &&
+		e.MinY <= p.Y && p.Y <= e.MaxY
+}
+
+// Buffer returns the envelope grown by d on every side. A negative d
+// shrinks the envelope and may produce an empty one.
+func (e Envelope) Buffer(d float64) Envelope {
+	if e.IsEmpty() {
+		return e
+	}
+	return Envelope{e.MinX - d, e.MinY - d, e.MaxX + d, e.MaxY + d}
+}
+
+// Distance returns the minimal distance between the two envelopes, 0 when
+// they intersect.
+func (e Envelope) Distance(o Envelope) float64 {
+	if e.IsEmpty() || o.IsEmpty() {
+		return math.Inf(1)
+	}
+	var dx, dy float64
+	switch {
+	case o.MinX > e.MaxX:
+		dx = o.MinX - e.MaxX
+	case e.MinX > o.MaxX:
+		dx = e.MinX - o.MaxX
+	}
+	switch {
+	case o.MinY > e.MaxY:
+		dy = o.MinY - e.MaxY
+	case e.MinY > o.MaxY:
+		dy = e.MinY - o.MaxY
+	}
+	return math.Hypot(dx, dy)
+}

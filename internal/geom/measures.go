@@ -1,0 +1,53 @@
+package geom
+
+import "fmt"
+
+// Area returns the enclosed area of any geometry: polygon area (holes
+// subtracted) for areal types, 0 for points and lines.
+func Area(g Geometry) float64 {
+	switch t := g.(type) {
+	case Polygon:
+		return t.Area()
+	case MultiPolygon:
+		return t.Area()
+	case Point, MultiPoint, LineString, MultiLineString:
+		return 0
+	}
+	panic(fmt.Sprintf("geom: unknown geometry type %T", g))
+}
+
+// Length returns the total boundary/path length of any geometry: line
+// length for 1-D types, perimeter (all rings) for areal types, 0 for
+// points.
+func Length(g Geometry) float64 {
+	switch t := g.(type) {
+	case Point, MultiPoint:
+		return 0
+	case LineString:
+		return t.Length()
+	case MultiLineString:
+		return t.Length()
+	case Polygon:
+		var sum float64
+		for _, r := range t.Rings() {
+			sum += ringLength(r)
+		}
+		return sum
+	case MultiPolygon:
+		var sum float64
+		for _, p := range t.Polygons {
+			sum += Length(p)
+		}
+		return sum
+	}
+	panic(fmt.Sprintf("geom: unknown geometry type %T", g))
+}
+
+// ringLength returns the closed perimeter of a ring.
+func ringLength(r Ring) float64 {
+	var sum float64
+	for i := 0; i < r.NumSegments(); i++ {
+		sum += r.Segment(i).Length()
+	}
+	return sum
+}

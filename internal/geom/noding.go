@@ -1,0 +1,254 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EdgeRole describes which part of a geometry's point-set a segment of
+// linework belongs to. Segments of a LineString belong to the line's
+// interior (except for the endpoint boundary, tracked separately), while
+// segments of polygon rings belong to the polygon's boundary.
+type EdgeRole int
+
+// Edge roles.
+const (
+	// RoleLineInterior marks a segment of a linestring.
+	RoleLineInterior EdgeRole = iota
+	// RoleRingBoundary marks a segment of a polygon ring (shell or hole).
+	RoleRingBoundary
+)
+
+// TaggedSegment couples a segment with the role it plays in its geometry.
+type TaggedSegment struct {
+	Seg  Segment
+	Role EdgeRole
+}
+
+// Soup is the decomposition of a geometry into primitive linework and
+// points, tagged with their point-set role. It is the working
+// representation of the relate (DE-9IM) computation.
+type Soup struct {
+	// Geometry is the source geometry.
+	Geometry Geometry
+	// Segments is all linework: linestring segments and ring edges.
+	Segments []TaggedSegment
+	// InteriorPoints are isolated points belonging to the geometry's
+	// interior (the members of Point/MultiPoint geometries).
+	InteriorPoints []Point
+	// BoundaryPoints are the boundary points of the geometry's
+	// linestrings after applying the mod-2 rule.
+	BoundaryPoints []Point
+	// HasArea reports whether the geometry has 2-D components.
+	HasArea bool
+	// HasLine reports whether the geometry has 1-D components.
+	HasLine bool
+	// HasPoint reports whether the geometry has 0-D components.
+	HasPoint bool
+}
+
+// BuildSoup decomposes g into its tagged primitive parts.
+func BuildSoup(g Geometry) *Soup {
+	s := &Soup{Geometry: g}
+	var addLine func(l LineString)
+	endpointCount := map[Point]int{}
+	addLine = func(l LineString) {
+		if len(l.Coords) == 0 {
+			return
+		}
+		s.HasLine = true
+		for i := 0; i < l.NumSegments(); i++ {
+			seg := l.Segment(i)
+			if seg.IsDegenerate() {
+				continue
+			}
+			s.Segments = append(s.Segments, TaggedSegment{seg, RoleLineInterior})
+		}
+		if !l.IsClosed() && len(l.Coords) >= 2 {
+			endpointCount[l.Coords[0]]++
+			endpointCount[l.Coords[len(l.Coords)-1]]++
+		}
+	}
+	addPoly := func(p Polygon) {
+		if p.IsEmpty() {
+			return
+		}
+		s.HasArea = true
+		for _, r := range p.Rings() {
+			for i := 0; i < r.NumSegments(); i++ {
+				seg := r.Segment(i)
+				if seg.IsDegenerate() {
+					continue
+				}
+				s.Segments = append(s.Segments, TaggedSegment{seg, RoleRingBoundary})
+			}
+		}
+	}
+	switch t := g.(type) {
+	case Point:
+		s.HasPoint = true
+		s.InteriorPoints = append(s.InteriorPoints, t)
+	case MultiPoint:
+		if len(t.Points) > 0 {
+			s.HasPoint = true
+		}
+		s.InteriorPoints = append(s.InteriorPoints, t.Points...)
+	case LineString:
+		addLine(t)
+	case MultiLineString:
+		for _, l := range t.Lines {
+			addLine(l)
+		}
+	case Polygon:
+		addPoly(t)
+	case MultiPolygon:
+		for _, p := range t.Polygons {
+			addPoly(p)
+		}
+	default:
+		panic(fmt.Sprintf("geom: unknown geometry type %T", g))
+	}
+	for p, c := range endpointCount {
+		if c%2 == 1 {
+			s.BoundaryPoints = append(s.BoundaryPoints, p)
+		}
+	}
+	// Deterministic order for reproducibility (map iteration is random).
+	sort.Slice(s.BoundaryPoints, func(i, j int) bool {
+		a, b := s.BoundaryPoints[i], s.BoundaryPoints[j]
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
+	return s
+}
+
+// NodeResult is the outcome of noding two soups against each other.
+type NodeResult struct {
+	// SubA and SubB hold the segments of each soup split at every
+	// intersection with the other soup's linework.
+	SubA, SubB []TaggedSegment
+	// Nodes is the deduplicated set of intersection points between the
+	// two soups' linework.
+	Nodes []Point
+}
+
+// NodeSoups splits the segments of a and b at all mutual intersection
+// points and collects those points. The splitting is quadratic in the
+// number of segments with an envelope pre-filter, which is appropriate for
+// the feature-versus-feature relate calls this package serves (features
+// have tens of vertices; the cross-feature candidate filtering happens in
+// the spatial index, not here).
+func NodeSoups(a, b *Soup) NodeResult {
+	var res NodeResult
+	nodeSet := newPointSet()
+
+	cutsA := make([][]float64, len(a.Segments))
+	cutsB := make([][]float64, len(b.Segments))
+
+	for i, sa := range a.Segments {
+		ea := sa.Seg.Envelope().Buffer(Eps)
+		for j, sb := range b.Segments {
+			if !ea.Intersects(sb.Seg.Envelope()) {
+				continue
+			}
+			kind, p0, p1 := sa.Seg.Intersect(sb.Seg)
+			switch kind {
+			case IntersectionPoint:
+				cutsA[i] = append(cutsA[i], paramOn(sa.Seg, p0))
+				cutsB[j] = append(cutsB[j], paramOn(sb.Seg, p0))
+				nodeSet.add(p0)
+			case IntersectionOverlap:
+				for _, p := range []Point{p0, p1} {
+					cutsA[i] = append(cutsA[i], paramOn(sa.Seg, p))
+					cutsB[j] = append(cutsB[j], paramOn(sb.Seg, p))
+					nodeSet.add(p)
+				}
+			}
+		}
+	}
+	// Also split at the other soup's isolated points: a point feature
+	// lying on a segment must become a vertex, or the sub-segment
+	// midpoint classification could coincide with the point itself.
+	splitAtPoints := func(segs []TaggedSegment, cuts [][]float64, pts []Point) {
+		for i, ts := range segs {
+			env := ts.Seg.Envelope().Buffer(Eps)
+			for _, p := range pts {
+				if env.ContainsPoint(p) && ts.Seg.OnSegment(p) {
+					cuts[i] = append(cuts[i], paramOn(ts.Seg, p))
+					nodeSet.add(p)
+				}
+			}
+		}
+	}
+	bPts := append(append([]Point{}, b.InteriorPoints...), b.BoundaryPoints...)
+	aPts := append(append([]Point{}, a.InteriorPoints...), a.BoundaryPoints...)
+	splitAtPoints(a.Segments, cutsA, bPts)
+	splitAtPoints(b.Segments, cutsB, aPts)
+
+	res.SubA = splitAll(a.Segments, cutsA)
+	res.SubB = splitAll(b.Segments, cutsB)
+	res.Nodes = nodeSet.points
+	return res
+}
+
+// paramOn returns the parameter of p along segment s in [0, 1].
+func paramOn(s Segment, p Point) float64 {
+	d := s.B.Sub(s.A)
+	den := d.Dot(d)
+	if den == 0 {
+		return 0
+	}
+	t := p.Sub(s.A).Dot(d) / den
+	return math.Max(0, math.Min(1, t))
+}
+
+// splitAll splits every segment at its sorted cut parameters, dropping
+// degenerate pieces.
+func splitAll(segs []TaggedSegment, cuts [][]float64) []TaggedSegment {
+	out := make([]TaggedSegment, 0, len(segs))
+	for i, ts := range segs {
+		cs := cuts[i]
+		if len(cs) == 0 {
+			out = append(out, ts)
+			continue
+		}
+		sort.Float64s(cs)
+		prev := 0.0
+		prevPt := ts.Seg.A
+		emit := func(t float64, pt Point) {
+			if t-prev > Eps && prevPt.DistanceTo(pt) > Eps {
+				out = append(out, TaggedSegment{Segment{prevPt, pt}, ts.Role})
+			}
+			prev, prevPt = t, pt
+		}
+		d := ts.Seg.B.Sub(ts.Seg.A)
+		for _, t := range cs {
+			if t <= prev+Eps {
+				continue
+			}
+			emit(t, ts.Seg.A.Add(d.Scale(t)))
+		}
+		emit(1, ts.Seg.B)
+	}
+	return out
+}
+
+// pointSet deduplicates points within the package tolerance. Linear scan:
+// the relate computation produces a handful of nodes per feature pair.
+type pointSet struct {
+	points []Point
+}
+
+func newPointSet() *pointSet { return &pointSet{} }
+
+func (s *pointSet) add(p Point) {
+	for _, q := range s.points {
+		if p.DistanceTo(q) <= Eps {
+			return
+		}
+	}
+	s.points = append(s.points, p)
+}

@@ -1,0 +1,126 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validation errors returned by Validate. Use errors.Is to test for them.
+var (
+	ErrTooFewCoords    = errors.New("geom: too few coordinates")
+	ErrRingNotSimple   = errors.New("geom: ring is self-intersecting")
+	ErrHoleOutside     = errors.New("geom: hole not inside shell")
+	ErrRepeatedCoord   = errors.New("geom: repeated consecutive coordinate")
+	ErrNonFiniteCoord  = errors.New("geom: non-finite coordinate")
+	ErrUnsupportedType = errors.New("geom: unsupported geometry type")
+)
+
+// Validate checks structural validity of a geometry: coordinate counts,
+// finite coordinates, ring simplicity, and hole containment. It returns nil
+// for valid geometries and a wrapped sentinel error otherwise. Validation
+// is O(n²) in ring size and intended for data ingestion, not hot paths.
+func Validate(g Geometry) error {
+	switch t := g.(type) {
+	case Point:
+		return validateFinite([]Point{t})
+	case MultiPoint:
+		return validateFinite(t.Points)
+	case LineString:
+		return validateLine(t)
+	case MultiLineString:
+		for i, l := range t.Lines {
+			if err := validateLine(l); err != nil {
+				return fmt.Errorf("line %d: %w", i, err)
+			}
+		}
+		return nil
+	case Polygon:
+		return validatePolygon(t)
+	case MultiPolygon:
+		for i, p := range t.Polygons {
+			if err := validatePolygon(p); err != nil {
+				return fmt.Errorf("polygon %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %T", ErrUnsupportedType, g)
+}
+
+func validateFinite(pts []Point) error {
+	for _, p := range pts {
+		if !isFinite(p.X) || !isFinite(p.Y) {
+			return fmt.Errorf("%w: (%v, %v)", ErrNonFiniteCoord, p.X, p.Y)
+		}
+	}
+	return nil
+}
+
+func isFinite(f float64) bool { return f == f && f < 1e308 && f > -1e308 }
+
+func validateLine(l LineString) error {
+	if len(l.Coords) < 2 {
+		return fmt.Errorf("%w: linestring needs >= 2, has %d", ErrTooFewCoords, len(l.Coords))
+	}
+	if err := validateFinite(l.Coords); err != nil {
+		return err
+	}
+	for i := 1; i < len(l.Coords); i++ {
+		if l.Coords[i].DistanceTo(l.Coords[i-1]) <= Eps {
+			return fmt.Errorf("%w: at index %d", ErrRepeatedCoord, i)
+		}
+	}
+	return nil
+}
+
+func validatePolygon(p Polygon) error {
+	if err := validateRing(p.Shell); err != nil {
+		return fmt.Errorf("shell: %w", err)
+	}
+	for i, h := range p.Holes {
+		if err := validateRing(h); err != nil {
+			return fmt.Errorf("hole %d: %w", i, err)
+		}
+		// Every hole vertex must be inside or on the shell.
+		for _, c := range h.Coords {
+			if LocateInRing(c, p.Shell) == Exterior {
+				return fmt.Errorf("%w: hole %d vertex (%v, %v)", ErrHoleOutside, i, c.X, c.Y)
+			}
+		}
+	}
+	return nil
+}
+
+func validateRing(r Ring) error {
+	if len(r.Coords) < 3 {
+		return fmt.Errorf("%w: ring needs >= 3, has %d", ErrTooFewCoords, len(r.Coords))
+	}
+	if err := validateFinite(r.Coords); err != nil {
+		return err
+	}
+	n := r.NumSegments()
+	for i := 0; i < n; i++ {
+		si := r.Segment(i)
+		if si.IsDegenerate() {
+			return fmt.Errorf("%w: ring edge %d", ErrRepeatedCoord, i)
+		}
+		for j := i + 1; j < n; j++ {
+			// Adjacent edges legitimately share a vertex; wrap-around
+			// makes edge 0 adjacent to edge n-1.
+			adjacent := j == i+1 || (i == 0 && j == n-1)
+			kind, p0, p1 := si.Intersect(r.Segment(j))
+			switch kind {
+			case IntersectionNone:
+			case IntersectionPoint:
+				if !adjacent {
+					return fmt.Errorf("%w: edges %d and %d meet at (%v, %v)",
+						ErrRingNotSimple, i, j, p0.X, p0.Y)
+				}
+			case IntersectionOverlap:
+				return fmt.Errorf("%w: edges %d and %d overlap from (%v, %v) to (%v, %v)",
+					ErrRingNotSimple, i, j, p0.X, p0.Y, p1.X, p1.Y)
+			}
+		}
+	}
+	return nil
+}

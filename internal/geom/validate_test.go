@@ -1,0 +1,101 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestValidateOK(t *testing.T) {
+	good := []Geometry{
+		Pt(1, 2),
+		MultiPoint{Points: []Point{Pt(0, 0), Pt(1, 1)}},
+		Line(Pt(0, 0), Pt(1, 1), Pt(2, 0)),
+		MultiLineString{Lines: []LineString{Line(Pt(0, 0), Pt(1, 0))}},
+		Rect(0, 0, 4, 4),
+		Polygon{
+			Shell: Ring{Coords: []Point{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}},
+			Holes: []Ring{{Coords: []Point{Pt(2, 2), Pt(4, 2), Pt(4, 4), Pt(2, 4)}}},
+		},
+		MultiPolygon{Polygons: []Polygon{Rect(0, 0, 1, 1), Rect(3, 3, 4, 4)}},
+	}
+	for _, g := range good {
+		if err := Validate(g); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", g.WKT(), err)
+		}
+	}
+}
+
+func TestValidateTooFewCoords(t *testing.T) {
+	cases := []Geometry{
+		LineString{Coords: []Point{Pt(0, 0)}},
+		Polygon{Shell: Ring{Coords: []Point{Pt(0, 0), Pt(1, 1)}}},
+	}
+	for _, g := range cases {
+		if err := Validate(g); !errors.Is(err, ErrTooFewCoords) {
+			t.Errorf("Validate = %v, want ErrTooFewCoords", err)
+		}
+	}
+}
+
+func TestValidateNonFinite(t *testing.T) {
+	nan := math.NaN()
+	if err := Validate(Pt(nan, 0)); !errors.Is(err, ErrNonFiniteCoord) {
+		t.Errorf("NaN point: %v", err)
+	}
+	if err := Validate(Line(Pt(0, 0), Pt(math.Inf(1), 0))); !errors.Is(err, ErrNonFiniteCoord) {
+		t.Errorf("Inf line: %v", err)
+	}
+}
+
+func TestValidateRepeatedCoord(t *testing.T) {
+	if err := Validate(Line(Pt(0, 0), Pt(0, 0), Pt(1, 1))); !errors.Is(err, ErrRepeatedCoord) {
+		t.Errorf("repeated line coord: %v", err)
+	}
+	bowtieDegenerate := Poly(Pt(0, 0), Pt(0, 0), Pt(1, 1))
+	if err := Validate(bowtieDegenerate); !errors.Is(err, ErrRepeatedCoord) {
+		t.Errorf("degenerate ring edge: %v", err)
+	}
+}
+
+func TestValidateSelfIntersectingRing(t *testing.T) {
+	// Bowtie: edges cross in the middle.
+	bowtie := Poly(Pt(0, 0), Pt(4, 4), Pt(4, 0), Pt(0, 4))
+	if err := Validate(bowtie); !errors.Is(err, ErrRingNotSimple) {
+		t.Errorf("bowtie: %v, want ErrRingNotSimple", err)
+	}
+	// Ring with a spike (collinear overlap).
+	spike := Poly(Pt(0, 0), Pt(4, 0), Pt(2, 0), Pt(2, 3))
+	if err := Validate(spike); !errors.Is(err, ErrRingNotSimple) {
+		t.Errorf("spike: %v, want ErrRingNotSimple", err)
+	}
+}
+
+func TestValidateHoleOutside(t *testing.T) {
+	poly := Polygon{
+		Shell: Ring{Coords: []Point{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)}},
+		Holes: []Ring{{Coords: []Point{Pt(10, 10), Pt(12, 10), Pt(12, 12), Pt(10, 12)}}},
+	}
+	if err := Validate(poly); !errors.Is(err, ErrHoleOutside) {
+		t.Errorf("outside hole: %v, want ErrHoleOutside", err)
+	}
+}
+
+func TestValidateWrappedContext(t *testing.T) {
+	// Errors from nested parts must carry positional context.
+	mp := MultiPolygon{Polygons: []Polygon{
+		Rect(0, 0, 1, 1),
+		{Shell: Ring{Coords: []Point{Pt(0, 0), Pt(1, 1)}}},
+	}}
+	err := Validate(mp)
+	if err == nil || !errors.Is(err, ErrTooFewCoords) {
+		t.Fatalf("err = %v", err)
+	}
+	ml := MultiLineString{Lines: []LineString{
+		Line(Pt(0, 0), Pt(1, 1)),
+		{Coords: []Point{Pt(0, 0)}},
+	}}
+	if err := Validate(ml); !errors.Is(err, ErrTooFewCoords) {
+		t.Fatalf("multiline err = %v", err)
+	}
+}

@@ -1,0 +1,334 @@
+package geom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Well-known binary (WKB) encoding, the OGC interchange format spatial
+// databases emit (PostGIS ST_AsBinary). Little-endian encoding is
+// produced; both byte orders are accepted on read.
+
+// WKB geometry type codes.
+const (
+	wkbPoint           uint32 = 1
+	wkbLineString      uint32 = 2
+	wkbPolygon         uint32 = 3
+	wkbMultiPoint      uint32 = 4
+	wkbMultiLineString uint32 = 5
+	wkbMultiPolygon    uint32 = 6
+)
+
+// MarshalWKB encodes a geometry as little-endian WKB.
+func MarshalWKB(g Geometry) ([]byte, error) {
+	if g == nil {
+		return nil, fmt.Errorf("geom: cannot marshal nil geometry")
+	}
+	w := &wkbWriter{}
+	if err := w.geometry(g); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+type wkbWriter struct {
+	buf []byte
+}
+
+func (w *wkbWriter) byteOrder()      { w.buf = append(w.buf, 1) } // little-endian
+func (w *wkbWriter) uint32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *wkbWriter) float64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+func (w *wkbWriter) point(p Point) {
+	w.float64(p.X)
+	w.float64(p.Y)
+}
+
+func (w *wkbWriter) coords(ps []Point) {
+	w.uint32(uint32(len(ps)))
+	for _, p := range ps {
+		w.point(p)
+	}
+}
+
+// ring writes a ring with the explicit closing coordinate WKB requires.
+// Empty rings encode as zero coordinates.
+func (w *wkbWriter) ring(r Ring) {
+	if len(r.Coords) == 0 {
+		w.uint32(0)
+		return
+	}
+	w.uint32(uint32(len(r.Coords) + 1))
+	for _, p := range r.Coords {
+		w.point(p)
+	}
+	w.point(r.Coords[0])
+}
+
+func (w *wkbWriter) geometry(g Geometry) error {
+	w.byteOrder()
+	switch t := g.(type) {
+	case Point:
+		w.uint32(wkbPoint)
+		w.point(t)
+	case LineString:
+		w.uint32(wkbLineString)
+		w.coords(t.Coords)
+	case Polygon:
+		w.uint32(wkbPolygon)
+		if t.IsEmpty() {
+			w.uint32(0)
+			return nil
+		}
+		w.uint32(uint32(1 + len(t.Holes)))
+		w.ring(t.Shell)
+		for _, h := range t.Holes {
+			w.ring(h)
+		}
+	case MultiPoint:
+		w.uint32(wkbMultiPoint)
+		w.uint32(uint32(len(t.Points)))
+		for _, p := range t.Points {
+			if err := w.geometry(p); err != nil {
+				return err
+			}
+		}
+	case MultiLineString:
+		w.uint32(wkbMultiLineString)
+		w.uint32(uint32(len(t.Lines)))
+		for _, l := range t.Lines {
+			if err := w.geometry(l); err != nil {
+				return err
+			}
+		}
+	case MultiPolygon:
+		w.uint32(wkbMultiPolygon)
+		w.uint32(uint32(len(t.Polygons)))
+		for _, p := range t.Polygons {
+			if err := w.geometry(p); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("geom: cannot marshal %T as WKB", g)
+	}
+	return nil
+}
+
+// UnmarshalWKB decodes a WKB geometry (either byte order). Trailing bytes
+// are an error.
+func UnmarshalWKB(data []byte) (Geometry, error) {
+	r := &wkbReader{buf: data}
+	g, err := r.geometry()
+	if err != nil {
+		return nil, fmt.Errorf("geom: decoding WKB: %w", err)
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("geom: decoding WKB: %d trailing bytes", len(data)-r.pos)
+	}
+	return g, nil
+}
+
+type wkbReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *wkbReader) order() (binary.ByteOrder, error) {
+	if r.pos >= len(r.buf) {
+		return nil, fmt.Errorf("truncated at byte order")
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	switch b {
+	case 0:
+		return binary.BigEndian, nil
+	case 1:
+		return binary.LittleEndian, nil
+	}
+	return nil, fmt.Errorf("invalid byte order %d", b)
+}
+
+func (r *wkbReader) uint32(o binary.ByteOrder) (uint32, error) {
+	if r.pos+4 > len(r.buf) {
+		return 0, fmt.Errorf("truncated uint32")
+	}
+	v := o.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *wkbReader) float64(o binary.ByteOrder) (float64, error) {
+	if r.pos+8 > len(r.buf) {
+		return 0, fmt.Errorf("truncated float64")
+	}
+	v := math.Float64frombits(o.Uint64(r.buf[r.pos:]))
+	r.pos += 8
+	return v, nil
+}
+
+func (r *wkbReader) point(o binary.ByteOrder) (Point, error) {
+	x, err := r.float64(o)
+	if err != nil {
+		return Point{}, err
+	}
+	y, err := r.float64(o)
+	if err != nil {
+		return Point{}, err
+	}
+	// Reject non-finite coordinates: no valid producer emits them, and
+	// NaN breaks coordinate equality downstream (ring closing).
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+		return Point{}, fmt.Errorf("non-finite coordinate")
+	}
+	return Point{x, y}, nil
+}
+
+// maxWKBElements caps claimed element counts so corrupt headers cannot
+// drive huge allocations.
+const maxWKBElements = 1 << 24
+
+func (r *wkbReader) count(o binary.ByteOrder) (int, error) {
+	n, err := r.uint32(o)
+	if err != nil {
+		return 0, err
+	}
+	if n > maxWKBElements {
+		return 0, fmt.Errorf("element count %d exceeds limit", n)
+	}
+	return int(n), nil
+}
+
+func (r *wkbReader) coords(o binary.ByteOrder) ([]Point, error) {
+	n, err := r.count(o)
+	if err != nil {
+		return nil, err
+	}
+	// Bound by remaining bytes: 16 per coordinate.
+	if r.pos+16*n > len(r.buf) {
+		return nil, fmt.Errorf("coordinate count %d exceeds remaining data", n)
+	}
+	ps := make([]Point, n)
+	for i := range ps {
+		if ps[i], err = r.point(o); err != nil {
+			return nil, err
+		}
+	}
+	return ps, nil
+}
+
+// ringFromCoords strips the explicit closing coordinate.
+func ringFromCoords(ps []Point) Ring {
+	if len(ps) > 1 && ps[0].Equal(ps[len(ps)-1]) {
+		ps = ps[:len(ps)-1]
+	}
+	return Ring{Coords: ps}
+}
+
+func (r *wkbReader) geometry() (Geometry, error) {
+	o, err := r.order()
+	if err != nil {
+		return nil, err
+	}
+	typ, err := r.uint32(o)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case wkbPoint:
+		return r.point(o)
+	case wkbLineString:
+		ps, err := r.coords(o)
+		if err != nil {
+			return nil, err
+		}
+		return LineString{Coords: ps}, nil
+	case wkbPolygon:
+		nRings, err := r.count(o)
+		if err != nil {
+			return nil, err
+		}
+		if nRings == 0 {
+			return Polygon{}, nil
+		}
+		var poly Polygon
+		for i := 0; i < nRings; i++ {
+			ps, err := r.coords(o)
+			if err != nil {
+				return nil, err
+			}
+			ring := ringFromCoords(ps)
+			if i == 0 {
+				poly.Shell = ring
+			} else {
+				poly.Holes = append(poly.Holes, ring)
+			}
+		}
+		return poly, nil
+	case wkbMultiPoint:
+		n, err := r.count(o)
+		if err != nil {
+			return nil, err
+		}
+		mp := MultiPoint{Points: make([]Point, 0, min(n, 1024))}
+		for i := 0; i < n; i++ {
+			g, err := r.geometry()
+			if err != nil {
+				return nil, err
+			}
+			p, ok := g.(Point)
+			if !ok {
+				return nil, fmt.Errorf("multipoint member %d is %T", i, g)
+			}
+			mp.Points = append(mp.Points, p)
+		}
+		return mp, nil
+	case wkbMultiLineString:
+		n, err := r.count(o)
+		if err != nil {
+			return nil, err
+		}
+		ml := MultiLineString{}
+		for i := 0; i < n; i++ {
+			g, err := r.geometry()
+			if err != nil {
+				return nil, err
+			}
+			l, ok := g.(LineString)
+			if !ok {
+				return nil, fmt.Errorf("multilinestring member %d is %T", i, g)
+			}
+			ml.Lines = append(ml.Lines, l)
+		}
+		return ml, nil
+	case wkbMultiPolygon:
+		n, err := r.count(o)
+		if err != nil {
+			return nil, err
+		}
+		mp := MultiPolygon{}
+		for i := 0; i < n; i++ {
+			g, err := r.geometry()
+			if err != nil {
+				return nil, err
+			}
+			p, ok := g.(Polygon)
+			if !ok {
+				return nil, fmt.Errorf("multipolygon member %d is %T", i, g)
+			}
+			mp.Polygons = append(mp.Polygons, p)
+		}
+		return mp, nil
+	}
+	return nil, fmt.Errorf("unsupported WKB type %d", typ)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func wkbCases() []Geometry {
+	return []Geometry{
+		Pt(1, 2),
+		Pt(-1.5e10, 2.25e-10),
+		MultiPoint{Points: []Point{Pt(0, 0), Pt(3, 4)}},
+		Line(Pt(0, 0), Pt(1, 1), Pt(2, 0)),
+		MultiLineString{Lines: []LineString{
+			Line(Pt(0, 0), Pt(1, 0)),
+			Line(Pt(0, 1), Pt(1, 1), Pt(2, 2)),
+		}},
+		Rect(0, 0, 4, 4),
+		Polygon{
+			Shell: Ring{Coords: []Point{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}},
+			Holes: []Ring{{Coords: []Point{Pt(2, 2), Pt(4, 2), Pt(4, 4), Pt(2, 4)}}},
+		},
+		MultiPolygon{Polygons: []Polygon{Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)}},
+	}
+}
+
+func TestWKBRoundTrip(t *testing.T) {
+	for _, g := range wkbCases() {
+		data, err := MarshalWKB(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.WKT(), err)
+		}
+		back, err := UnmarshalWKB(data)
+		if err != nil {
+			t.Fatalf("%s: %v", g.WKT(), err)
+		}
+		if back.WKT() != g.WKT() {
+			t.Errorf("round trip changed geometry:\n  %s\n  %s", g.WKT(), back.WKT())
+		}
+	}
+}
+
+func TestWKBKnownEncoding(t *testing.T) {
+	// POINT (1 2) little-endian: 01 01000000 then two doubles.
+	data, err := MarshalWKB(Pt(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 1, 0, 0, 0}
+	want = binary.LittleEndian.AppendUint64(want, math.Float64bits(1))
+	want = binary.LittleEndian.AppendUint64(want, math.Float64bits(2))
+	if !bytes.Equal(data, want) {
+		t.Errorf("encoding = % x, want % x", data, want)
+	}
+}
+
+func TestWKBBigEndianAccepted(t *testing.T) {
+	// Hand-built big-endian POINT (3 4).
+	var data []byte
+	data = append(data, 0) // big-endian
+	data = binary.BigEndian.AppendUint32(data, 1)
+	data = binary.BigEndian.AppendUint64(data, math.Float64bits(3))
+	data = binary.BigEndian.AppendUint64(data, math.Float64bits(4))
+	g, err := UnmarshalWKB(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.(Point).Equal(Pt(3, 4)) {
+		t.Errorf("decoded %v", g)
+	}
+}
+
+func TestWKBErrors(t *testing.T) {
+	good, _ := MarshalWKB(Rect(0, 0, 1, 1))
+	cases := map[string][]byte{
+		"empty":             {},
+		"bad byte order":    {7},
+		"truncated type":    {1, 1},
+		"unsupported type":  append([]byte{1}, binary.LittleEndian.AppendUint32(nil, 99)...),
+		"truncated payload": good[:len(good)-4],
+		"trailing bytes":    append(append([]byte{}, good...), 0xFF),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalWKB(data); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := MarshalWKB(nil); err == nil {
+		t.Error("nil geometry should fail to marshal")
+	}
+	// A corrupt header claiming 2^24+ coordinates must fail fast, not
+	// allocate.
+	var huge []byte
+	huge = append(huge, 1)
+	huge = binary.LittleEndian.AppendUint32(huge, wkbLineString)
+	huge = binary.LittleEndian.AppendUint32(huge, 1<<25)
+	if _, err := UnmarshalWKB(huge); err == nil {
+		t.Error("huge claimed count should fail")
+	}
+	// Claimed count larger than remaining bytes.
+	var lying []byte
+	lying = append(lying, 1)
+	lying = binary.LittleEndian.AppendUint32(lying, wkbLineString)
+	lying = binary.LittleEndian.AppendUint32(lying, 1000)
+	lying = append(lying, make([]byte, 64)...)
+	if _, err := UnmarshalWKB(lying); err == nil {
+		t.Error("lying count should fail")
+	}
+	// Wrong member type inside a multi-geometry.
+	var badMember []byte
+	badMember = append(badMember, 1)
+	badMember = binary.LittleEndian.AppendUint32(badMember, wkbMultiPoint)
+	badMember = binary.LittleEndian.AppendUint32(badMember, 1)
+	inner, _ := MarshalWKB(Line(Pt(0, 0), Pt(1, 1)))
+	badMember = append(badMember, inner...)
+	if _, err := UnmarshalWKB(badMember); err == nil {
+		t.Error("line inside multipoint should fail")
+	}
+}
+
+// FuzzUnmarshalWKB hardens the binary decoder against arbitrary input.
+func FuzzUnmarshalWKB(f *testing.F) {
+	for _, g := range wkbCases() {
+		data, err := MarshalWKB(g)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := UnmarshalWKB(data)
+		if err != nil {
+			return
+		}
+		// Decoded geometries re-encode and re-decode stably.
+		out, err := MarshalWKB(g)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		back, err := UnmarshalWKB(out)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if back.WKT() != g.WKT() {
+			t.Fatal("re-round-trip changed geometry")
+		}
+	})
+}

@@ -1,0 +1,369 @@
+package geom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// WKT implements Geometry for Point.
+func (p Point) WKT() string {
+	return "POINT (" + fmtCoord(p) + ")"
+}
+
+// WKT implements Geometry for MultiPoint.
+func (m MultiPoint) WKT() string {
+	if m.IsEmpty() {
+		return "MULTIPOINT EMPTY"
+	}
+	parts := make([]string, len(m.Points))
+	for i, p := range m.Points {
+		parts[i] = "(" + fmtCoord(p) + ")"
+	}
+	return "MULTIPOINT (" + strings.Join(parts, ", ") + ")"
+}
+
+// WKT implements Geometry for LineString.
+func (l LineString) WKT() string {
+	if l.IsEmpty() {
+		return "LINESTRING EMPTY"
+	}
+	return "LINESTRING " + fmtCoordSeq(l.Coords)
+}
+
+// WKT implements Geometry for MultiLineString.
+func (m MultiLineString) WKT() string {
+	if m.IsEmpty() {
+		return "MULTILINESTRING EMPTY"
+	}
+	parts := make([]string, len(m.Lines))
+	for i, l := range m.Lines {
+		parts[i] = fmtCoordSeq(l.Coords)
+	}
+	return "MULTILINESTRING (" + strings.Join(parts, ", ") + ")"
+}
+
+// WKT implements Geometry for Polygon.
+func (p Polygon) WKT() string {
+	if p.IsEmpty() {
+		return "POLYGON EMPTY"
+	}
+	return "POLYGON " + fmtPolyBody(p)
+}
+
+// WKT implements Geometry for MultiPolygon.
+func (m MultiPolygon) WKT() string {
+	if m.IsEmpty() {
+		return "MULTIPOLYGON EMPTY"
+	}
+	parts := make([]string, len(m.Polygons))
+	for i, p := range m.Polygons {
+		parts[i] = fmtPolyBody(p)
+	}
+	return "MULTIPOLYGON (" + strings.Join(parts, ", ") + ")"
+}
+
+func fmtPolyBody(p Polygon) string {
+	parts := make([]string, 0, 1+len(p.Holes))
+	parts = append(parts, fmtCoordSeq(closedCoords(p.Shell)))
+	for _, h := range p.Holes {
+		parts = append(parts, fmtCoordSeq(closedCoords(h)))
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// closedCoords returns ring coordinates with an explicit closing
+// coordinate, as WKT requires.
+func closedCoords(r Ring) []Point {
+	if len(r.Coords) == 0 {
+		return nil
+	}
+	return append(append([]Point{}, r.Coords...), r.Coords[0])
+}
+
+func fmtCoord(p Point) string {
+	return strconv.FormatFloat(p.X, 'g', -1, 64) + " " +
+		strconv.FormatFloat(p.Y, 'g', -1, 64)
+}
+
+func fmtCoordSeq(coords []Point) string {
+	parts := make([]string, len(coords))
+	for i, p := range coords {
+		parts[i] = fmtCoord(p)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ParseWKT parses a well-known-text geometry. It accepts the subset of WKT
+// produced by this package: POINT, MULTIPOINT (with or without per-point
+// parentheses), LINESTRING, MULTILINESTRING, POLYGON, MULTIPOLYGON, and
+// the EMPTY keyword.
+func ParseWKT(s string) (Geometry, error) {
+	p := &wktParser{src: s}
+	g, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("geom: parsing WKT %q: %w", s, err)
+	}
+	return g, nil
+}
+
+// MustParseWKT is ParseWKT that panics on error; for tests and static data.
+func MustParseWKT(s string) Geometry {
+	g, err := ParseWKT(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type wktParser struct {
+	src string
+	pos int
+}
+
+func (p *wktParser) parse() (Geometry, error) {
+	kw := strings.ToUpper(p.ident())
+	switch kw {
+	case "POINT":
+		if p.empty() {
+			return MultiPoint{}, nil
+		}
+		coords, err := p.coordSeq()
+		if err != nil {
+			return nil, err
+		}
+		if len(coords) != 1 {
+			return nil, fmt.Errorf("POINT needs exactly 1 coordinate, got %d", len(coords))
+		}
+		return coords[0], nil
+	case "MULTIPOINT":
+		if p.empty() {
+			return MultiPoint{}, nil
+		}
+		pts, err := p.multipointBody()
+		if err != nil {
+			return nil, err
+		}
+		return MultiPoint{Points: pts}, nil
+	case "LINESTRING":
+		if p.empty() {
+			return LineString{}, nil
+		}
+		coords, err := p.coordSeq()
+		if err != nil {
+			return nil, err
+		}
+		return LineString{Coords: coords}, nil
+	case "MULTILINESTRING":
+		if p.empty() {
+			return MultiLineString{}, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var lines []LineString
+		for {
+			coords, err := p.coordSeq()
+			if err != nil {
+				return nil, err
+			}
+			lines = append(lines, LineString{Coords: coords})
+			if !p.accept(',') {
+				break
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return MultiLineString{Lines: lines}, nil
+	case "POLYGON":
+		if p.empty() {
+			return Polygon{}, nil
+		}
+		return p.polygonBody()
+	case "MULTIPOLYGON":
+		if p.empty() {
+			return MultiPolygon{}, nil
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		var polys []Polygon
+		for {
+			poly, err := p.polygonBody()
+			if err != nil {
+				return nil, err
+			}
+			polys = append(polys, poly)
+			if !p.accept(',') {
+				break
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return MultiPolygon{Polygons: polys}, nil
+	case "":
+		return nil, fmt.Errorf("empty input")
+	default:
+		return nil, fmt.Errorf("unsupported geometry keyword %q", kw)
+	}
+}
+
+func (p *wktParser) polygonBody() (Polygon, error) {
+	if err := p.expect('('); err != nil {
+		return Polygon{}, err
+	}
+	var rings []Ring
+	for {
+		coords, err := p.coordSeq()
+		if err != nil {
+			return Polygon{}, err
+		}
+		// Drop the explicit closing coordinate if present.
+		if len(coords) > 1 && coords[0].Equal(coords[len(coords)-1]) {
+			coords = coords[:len(coords)-1]
+		}
+		rings = append(rings, Ring{Coords: coords})
+		if !p.accept(',') {
+			break
+		}
+	}
+	if err := p.expect(')'); err != nil {
+		return Polygon{}, err
+	}
+	poly := Polygon{Shell: rings[0]}
+	if len(rings) > 1 {
+		poly.Holes = rings[1:]
+	}
+	return poly, nil
+}
+
+func (p *wktParser) multipointBody() ([]Point, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var pts []Point
+	for {
+		paren := p.accept('(')
+		pt, err := p.coord()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+		if paren {
+			if err := p.expect(')'); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(',') {
+			break
+		}
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+func (p *wktParser) coordSeq() ([]Point, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var coords []Point
+	for {
+		pt, err := p.coord()
+		if err != nil {
+			return nil, err
+		}
+		coords = append(coords, pt)
+		if !p.accept(',') {
+			break
+		}
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return coords, nil
+}
+
+func (p *wktParser) coord() (Point, error) {
+	x, err := p.number()
+	if err != nil {
+		return Point{}, err
+	}
+	y, err := p.number()
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{x, y}, nil
+}
+
+func (p *wktParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' ||
+		p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *wktParser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+// empty consumes the EMPTY keyword if present.
+func (p *wktParser) empty() bool {
+	save := p.pos
+	if strings.EqualFold(p.ident(), "EMPTY") {
+		return true
+	}
+	p.pos = save
+	return false
+}
+
+func (p *wktParser) accept(c byte) bool {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *wktParser) expect(c byte) error {
+	if !p.accept(c) {
+		got := "end of input"
+		if p.pos < len(p.src) {
+			got = fmt.Sprintf("%q", p.src[p.pos])
+		}
+		return fmt.Errorf("expected %q at offset %d, got %s", string(c), p.pos, got)
+	}
+	return nil
+}
+
+func (p *wktParser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+			c == 'e' || c == 'E' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("expected number at offset %d", start)
+	}
+	return strconv.ParseFloat(p.src[start:p.pos], 64)
+}

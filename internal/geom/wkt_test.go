@@ -1,0 +1,129 @@
+package geom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWKTRoundTrip(t *testing.T) {
+	cases := []Geometry{
+		Pt(1, 2),
+		Pt(-1.5, 2.25),
+		MultiPoint{Points: []Point{Pt(0, 0), Pt(3, 4)}},
+		Line(Pt(0, 0), Pt(1, 1), Pt(2, 0)),
+		MultiLineString{Lines: []LineString{
+			Line(Pt(0, 0), Pt(1, 0)),
+			Line(Pt(0, 1), Pt(1, 1), Pt(2, 2)),
+		}},
+		Rect(0, 0, 4, 4),
+		Polygon{
+			Shell: Ring{Coords: []Point{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}},
+			Holes: []Ring{{Coords: []Point{Pt(2, 2), Pt(4, 2), Pt(4, 4), Pt(2, 4)}}},
+		},
+		MultiPolygon{Polygons: []Polygon{Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)}},
+	}
+	for _, g := range cases {
+		wkt := g.WKT()
+		parsed, err := ParseWKT(wkt)
+		if err != nil {
+			t.Errorf("%s: parse error: %v", wkt, err)
+			continue
+		}
+		if parsed.WKT() != wkt {
+			t.Errorf("round trip mismatch:\n  in:  %s\n  out: %s", wkt, parsed.WKT())
+		}
+		if parsed.GeomType() != g.GeomType() {
+			t.Errorf("%s: type changed to %s", wkt, parsed.GeomType())
+		}
+	}
+}
+
+func TestWKTExactStrings(t *testing.T) {
+	cases := []struct {
+		g    Geometry
+		want string
+	}{
+		{Pt(1, 2), "POINT (1 2)"},
+		{Line(Pt(0, 0), Pt(1, 1)), "LINESTRING (0 0, 1 1)"},
+		{Rect(0, 0, 1, 1), "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"},
+		{MultiPoint{}, "MULTIPOINT EMPTY"},
+		{LineString{}, "LINESTRING EMPTY"},
+		{Polygon{}, "POLYGON EMPTY"},
+		{MultiPolygon{}, "MULTIPOLYGON EMPTY"},
+		{MultiLineString{}, "MULTILINESTRING EMPTY"},
+	}
+	for _, tc := range cases {
+		if got := tc.g.WKT(); got != tc.want {
+			t.Errorf("WKT = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestParseWKTVariants(t *testing.T) {
+	// Multipoint without per-point parentheses.
+	g, err := ParseWKT("MULTIPOINT (1 1, 2 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp := g.(MultiPoint); len(mp.Points) != 2 || !mp.Points[1].Equal(Pt(2, 2)) {
+		t.Errorf("bare multipoint = %+v", mp)
+	}
+	// Lower-case keyword, extra whitespace, scientific notation.
+	g, err = ParseWKT("  point\t( 1e1   -2.5 ) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := g.(Point); !p.Equal(Pt(10, -2.5)) {
+		t.Errorf("parsed point = %v", p)
+	}
+	// Polygon with explicit closing coordinate keeps an open ring inside.
+	g, err = ParseWKT("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poly := g.(Polygon); len(poly.Shell.Coords) != 4 {
+		t.Errorf("closing coordinate not stripped: %d coords", len(poly.Shell.Coords))
+	}
+	// POINT EMPTY parses (as an empty multipoint, our empty-point stand-in).
+	g, err = ParseWKT("POINT EMPTY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsEmpty() {
+		t.Error("POINT EMPTY should be empty")
+	}
+}
+
+func TestParseWKTErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"CIRCLE (0 0, 1)",
+		"POINT (1)",
+		"POINT (1 2",
+		"POINT 1 2",
+		"LINESTRING ((0 0, 1 1)",
+		"POLYGON (0 0, 1 1)",
+		"POINT (a b)",
+		"POINT (1 2, 3 4)",
+	}
+	for _, s := range bad {
+		if _, err := ParseWKT(s); err == nil {
+			t.Errorf("ParseWKT(%q) should fail", s)
+		} else if !strings.Contains(err.Error(), "geom: parsing WKT") {
+			t.Errorf("error not wrapped: %v", err)
+		}
+	}
+}
+
+func TestMustParseWKT(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseWKT should panic on bad input")
+		}
+	}()
+	g := MustParseWKT("POINT (3 4)")
+	if !g.(Point).Equal(Pt(3, 4)) {
+		t.Error("MustParseWKT wrong result")
+	}
+	MustParseWKT("NOPE")
+}

@@ -1,0 +1,92 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func benchQueries() []geom.Envelope {
+	return []geom.Envelope{
+		{MinX: 10, MinY: 10, MaxX: 20, MaxY: 20},
+		{MinX: 50, MinY: 50, MaxX: 52, MaxY: 52},
+		{MinX: 0, MinY: 0, MaxX: 5, MaxY: 100},
+	}
+}
+
+func benchIndexes(n int) map[string]SpatialIndex {
+	items := makeItems(n, 100, 42)
+	return map[string]SpatialIndex{
+		"rtree":  NewRTreeBulk(items),
+		"grid":   NewGridBulk(items),
+		"linear": NewLinear(items),
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	for name, idx := range benchIndexes(10000) {
+		b.Run(name, func(b *testing.B) {
+			queries := benchQueries()
+			var buf []int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					buf = idx.Search(q, buf[:0])
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSearchDistance(b *testing.B) {
+	for name, idx := range benchIndexes(10000) {
+		b.Run(name, func(b *testing.B) {
+			q := geom.Envelope{MinX: 50, MinY: 50, MaxX: 51, MaxY: 51}
+			var buf []int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = idx.SearchDistance(q, 10, buf[:0])
+			}
+		})
+	}
+}
+
+func BenchmarkNearest(b *testing.B) {
+	items := makeItems(10000, 100, 42)
+	impls := map[string]NearestNeighborer{
+		"rtree":  NewRTreeBulk(items),
+		"grid":   NewGridBulk(items),
+		"linear": NewLinear(items),
+	}
+	for name, idx := range impls {
+		b.Run(name, func(b *testing.B) {
+			q := geom.Envelope{MinX: 33, MinY: 66, MaxX: 34, MaxY: 67}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Nearest(q, 10)
+			}
+		})
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	items := makeItems(10000, 100, 42)
+	b.Run("rtree-bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			NewRTreeBulk(items)
+		}
+	})
+	b.Run("rtree-insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t := &RTree{}
+			for _, it := range items {
+				t.Insert(it)
+			}
+		}
+	})
+	b.Run("grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			NewGridBulk(items)
+		}
+	})
+}

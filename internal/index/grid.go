@@ -1,0 +1,189 @@
+package index
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Grid is a uniform grid index: each cell keeps the items whose envelopes
+// intersect it. It serves as the simple baseline against the R-tree in the
+// spatial-join ablation benchmarks.
+type Grid struct {
+	cellSize float64
+	cells    map[cellKey][]Item
+	size     int
+	dataEnv  geom.Envelope // union of all inserted envelopes
+}
+
+type cellKey struct{ X, Y int }
+
+var _ SpatialIndex = (*Grid)(nil)
+
+// NewGrid creates a grid index with the given cell size. Cell size should
+// approximate the median feature extent; too small wastes memory on
+// duplicated entries, too large degenerates to a scan.
+func NewGrid(cellSize float64) *Grid {
+	if cellSize <= 0 {
+		panic("index: grid cell size must be positive")
+	}
+	return &Grid{cellSize: cellSize, cells: make(map[cellKey][]Item), dataEnv: geom.EmptyEnvelope()}
+}
+
+// NewGridBulk creates a grid sized from the data (average envelope extent,
+// clamped to a sane minimum) and inserts all items.
+func NewGridBulk(items []Item) *Grid {
+	var sum float64
+	for _, it := range items {
+		sum += math.Max(it.Env.Width(), it.Env.Height())
+	}
+	cell := 1.0
+	if len(items) > 0 {
+		cell = sum / float64(len(items))
+		if cell <= 0 {
+			cell = 1
+		}
+	}
+	g := NewGrid(cell)
+	for _, it := range items {
+		g.Insert(it)
+	}
+	return g
+}
+
+// Len implements SpatialIndex.
+func (g *Grid) Len() int { return g.size }
+
+// Insert implements SpatialIndex.
+func (g *Grid) Insert(item Item) {
+	g.size++
+	if item.Env.IsEmpty() {
+		return
+	}
+	g.dataEnv = g.dataEnv.Union(item.Env)
+	x0, x1, y0, y1 := g.cellRange(item.Env)
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			k := cellKey{x, y}
+			g.cells[k] = append(g.cells[k], item)
+		}
+	}
+}
+
+// cellRange returns the inclusive cell-coordinate range of an envelope.
+func (g *Grid) cellRange(e geom.Envelope) (x0, x1, y0, y1 int) {
+	x0 = int(math.Floor(e.MinX / g.cellSize))
+	x1 = int(math.Floor(e.MaxX / g.cellSize))
+	y0 = int(math.Floor(e.MinY / g.cellSize))
+	y1 = int(math.Floor(e.MaxY / g.cellSize))
+	return
+}
+
+// eachCell invokes fn for every occupied cell the query envelope touches.
+// The query is clamped to the data extent first, and when it still covers
+// more cells than are occupied the occupied-cell map is walked instead, so
+// that unbounded queries (e.g. "everything within 1e18") stay linear in
+// the data rather than in the query area.
+func (g *Grid) eachCell(e geom.Envelope, fn func(cellKey)) {
+	if e.IsEmpty() || g.dataEnv.IsEmpty() {
+		return
+	}
+	// Clamp to the data extent: cells outside it are empty by definition.
+	clamped := geom.Envelope{
+		MinX: math.Max(e.MinX, g.dataEnv.MinX), MinY: math.Max(e.MinY, g.dataEnv.MinY),
+		MaxX: math.Min(e.MaxX, g.dataEnv.MaxX), MaxY: math.Min(e.MaxY, g.dataEnv.MaxY),
+	}
+	if clamped.IsEmpty() {
+		return
+	}
+	x0, x1, y0, y1 := g.cellRange(clamped)
+	span := (float64(x1-x0) + 1) * (float64(y1-y0) + 1)
+	if span > float64(len(g.cells)) {
+		for k := range g.cells {
+			if k.X >= x0 && k.X <= x1 && k.Y >= y0 && k.Y <= y1 {
+				fn(k)
+			}
+		}
+		return
+	}
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			fn(cellKey{x, y})
+		}
+	}
+}
+
+// Search implements SpatialIndex. Results are deduplicated (an envelope
+// spanning several cells is stored once per cell).
+func (g *Grid) Search(query geom.Envelope, dst []int) []int {
+	seen := make(map[int]struct{})
+	g.eachCell(query, func(k cellKey) {
+		for _, it := range g.cells[k] {
+			if _, dup := seen[it.ID]; dup {
+				continue
+			}
+			if it.Env.Intersects(query) {
+				seen[it.ID] = struct{}{}
+				dst = append(dst, it.ID)
+			}
+		}
+	})
+	return dst
+}
+
+// SearchDistance implements SpatialIndex.
+func (g *Grid) SearchDistance(query geom.Envelope, d float64, dst []int) []int {
+	seen := make(map[int]struct{})
+	g.eachCell(query.Buffer(d), func(k cellKey) {
+		for _, it := range g.cells[k] {
+			if _, dup := seen[it.ID]; dup {
+				continue
+			}
+			if it.Env.Distance(query) <= d {
+				seen[it.ID] = struct{}{}
+				dst = append(dst, it.ID)
+			}
+		}
+	})
+	return dst
+}
+
+// Linear is the degenerate no-index baseline: a flat list scanned on every
+// query. It exists to quantify what the real indexes buy in the join
+// benchmarks.
+type Linear struct {
+	items []Item
+}
+
+var _ SpatialIndex = (*Linear)(nil)
+
+// NewLinear creates a Linear scan index over the items.
+func NewLinear(items []Item) *Linear {
+	return &Linear{items: append([]Item{}, items...)}
+}
+
+// Len implements SpatialIndex.
+func (l *Linear) Len() int { return len(l.items) }
+
+// Insert implements SpatialIndex.
+func (l *Linear) Insert(item Item) { l.items = append(l.items, item) }
+
+// Search implements SpatialIndex.
+func (l *Linear) Search(query geom.Envelope, dst []int) []int {
+	for _, it := range l.items {
+		if it.Env.Intersects(query) {
+			dst = append(dst, it.ID)
+		}
+	}
+	return dst
+}
+
+// SearchDistance implements SpatialIndex.
+func (l *Linear) SearchDistance(query geom.Envelope, d float64, dst []int) []int {
+	for _, it := range l.items {
+		if it.Env.Distance(query) <= d {
+			dst = append(dst, it.ID)
+		}
+	}
+	return dst
+}

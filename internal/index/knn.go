@@ -1,0 +1,169 @@
+package index
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// NearestNeighborer is implemented by indexes supporting k-nearest-
+// neighbor queries by envelope distance.
+type NearestNeighborer interface {
+	// Nearest returns the IDs of the k items whose envelopes are closest
+	// to the query envelope, ordered by ascending distance (ties by ID).
+	// Fewer than k results are returned when the index is smaller.
+	Nearest(query geom.Envelope, k int) []int
+}
+
+// Nearest implements NearestNeighborer with the classic best-first
+// branch-and-bound traversal: a priority queue over nodes and items keyed
+// by envelope distance guarantees items are emitted in distance order
+// without visiting more of the tree than necessary.
+func (t *RTree) Nearest(query geom.Envelope, k int) []int {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	pq := &knnQueue{}
+	heap.Init(pq)
+	heap.Push(pq, knnEntry{dist: t.root.env.Distance(query), node: t.root})
+	out := make([]int, 0, k)
+	for pq.Len() > 0 && len(out) < k {
+		e := heap.Pop(pq).(knnEntry)
+		if e.node == nil {
+			out = append(out, e.id)
+			continue
+		}
+		if e.node.leaf {
+			for _, it := range e.node.items {
+				heap.Push(pq, knnEntry{dist: it.Env.Distance(query), id: it.ID})
+			}
+			continue
+		}
+		for _, c := range e.node.children {
+			heap.Push(pq, knnEntry{dist: c.env.Distance(query), node: c})
+		}
+	}
+	return out
+}
+
+// knnEntry is a queue element: either a tree node to expand or a
+// concrete item (node == nil).
+type knnEntry struct {
+	dist float64
+	id   int
+	node *rtreeNode
+}
+
+// knnQueue is a min-heap over knnEntry. Concrete items order before nodes
+// at equal distance (so results pop deterministically), then by ID.
+type knnQueue []knnEntry
+
+func (q knnQueue) Len() int { return len(q) }
+func (q knnQueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	iLeaf, jLeaf := q[i].node == nil, q[j].node == nil
+	if iLeaf != jLeaf {
+		return iLeaf
+	}
+	return q[i].id < q[j].id
+}
+func (q knnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *knnQueue) Push(x interface{}) { *q = append(*q, x.(knnEntry)) }
+func (q *knnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Nearest implements NearestNeighborer by scanning; the reference
+// implementation the R-tree is tested against.
+func (l *Linear) Nearest(query geom.Envelope, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	type distItem struct {
+		dist float64
+		id   int
+	}
+	ds := make([]distItem, len(l.items))
+	for i, it := range l.items {
+		ds[i] = distItem{it.Env.Distance(query), it.ID}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].dist != ds[j].dist {
+			return ds[i].dist < ds[j].dist
+		}
+		return ds[i].id < ds[j].id
+	})
+	if k > len(ds) {
+		k = len(ds)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ds[i].id
+	}
+	return out
+}
+
+// Nearest implements NearestNeighborer for the grid by ring expansion:
+// cells are visited in growing distance bands around the query until k
+// candidates are confirmed.
+func (g *Grid) Nearest(query geom.Envelope, k int) []int {
+	if k <= 0 || g.size == 0 || g.dataEnv.IsEmpty() {
+		return nil
+	}
+	// Expand the search radius geometrically until enough items are
+	// found or the whole data extent is covered; then trim by exact
+	// distance order. Simple and correct; the R-tree is the fast path.
+	radius := g.cellSize
+	maxRadius := 2 * (g.dataEnv.Width() + g.dataEnv.Height() + g.cellSize)
+	var ids []int
+	for {
+		ids = g.SearchDistance(query, radius, nil)
+		if len(ids) >= k || radius > maxRadius {
+			break
+		}
+		radius *= 2
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	// Exact ordering of the gathered candidates. Re-derive distances via
+	// the stored items (first match per ID wins; duplicates are
+	// impossible since SearchDistance deduplicates).
+	dist := make(map[int]float64, len(ids))
+	for _, items := range g.cells {
+		for _, it := range items {
+			if _, need := dist[it.ID]; !need {
+				if contains(ids, it.ID) {
+					dist[it.ID] = it.Env.Distance(query)
+				}
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if dist[ids[i]] != dist[ids[j]] {
+			return dist[ids[i]] < dist[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+// contains reports membership in a small ID slice.
+func contains(ids []int, id int) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNearestAgainstLinearReference(t *testing.T) {
+	items := makeItems(400, 100, 8)
+	ref := NewLinear(items)
+	rt := NewRTreeBulk(items)
+	gr := NewGridBulk(items)
+	queries := []geom.Envelope{
+		{MinX: 50, MinY: 50, MaxX: 50, MaxY: 50},
+		{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		{MinX: 150, MinY: 150, MaxX: 151, MaxY: 151}, // outside the data
+	}
+	for _, q := range queries {
+		for _, k := range []int{1, 5, 17, 400, 1000} {
+			want := ref.Nearest(q, k)
+			gotRT := rt.Nearest(q, k)
+			if !equalIDs(gotRT, want) {
+				// Equal-distance ties can legitimately reorder; compare
+				// by distance sequence instead.
+				if !sameDistances(items, q, gotRT, want) {
+					t.Errorf("rtree Nearest(k=%d) = %v, want %v", k, gotRT, want)
+				}
+			}
+			gotGrid := gr.Nearest(q, k)
+			if !equalIDs(gotGrid, want) && !sameDistances(items, q, gotGrid, want) {
+				t.Errorf("grid Nearest(k=%d) = %v, want %v", k, gotGrid, want)
+			}
+		}
+	}
+}
+
+// sameDistances accepts permutations among equal-distance ties.
+func sameDistances(items []Item, q geom.Envelope, got, want []int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		dg := items[got[i]].Env.Distance(q)
+		dw := items[want[i]].Env.Distance(q)
+		if dg != dw {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNearestOrdering(t *testing.T) {
+	items := []Item{
+		{Env: geom.Envelope{MinX: 10, MinY: 0, MaxX: 11, MaxY: 1}, ID: 0}, // dist 9 from origin-ish
+		{Env: geom.Envelope{MinX: 1, MinY: 0, MaxX: 2, MaxY: 1}, ID: 1},   // dist 0 (touches query)
+		{Env: geom.Envelope{MinX: 5, MinY: 0, MaxX: 6, MaxY: 1}, ID: 2},   // dist 4
+	}
+	rt := NewRTreeBulk(items)
+	q := geom.Envelope{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	got := rt.Nearest(q, 3)
+	want := []int{1, 2, 0}
+	if !equalIDs(got, want) {
+		t.Errorf("Nearest order = %v, want %v", got, want)
+	}
+	if got := rt.Nearest(q, 1); !equalIDs(got, []int{1}) {
+		t.Errorf("Nearest(1) = %v", got)
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	empty := &RTree{}
+	if got := empty.Nearest(geom.Envelope{}, 3); got != nil {
+		t.Error("empty tree should return nil")
+	}
+	items := makeItems(10, 50, 4)
+	rt := NewRTreeBulk(items)
+	if got := rt.Nearest(geom.Envelope{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := rt.Nearest(geom.Envelope{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 100); len(got) != 10 {
+		t.Errorf("k beyond size returned %d items", len(got))
+	}
+	gr := NewGridBulk(items)
+	if got := gr.Nearest(geom.Envelope{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 0); got != nil {
+		t.Error("grid k=0 should return nil")
+	}
+	emptyGrid := NewGrid(1)
+	if got := emptyGrid.Nearest(geom.Envelope{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 2); got != nil {
+		t.Error("empty grid should return nil")
+	}
+	lin := NewLinear(nil)
+	if got := lin.Nearest(geom.Envelope{}, 2); len(got) != 0 {
+		t.Error("empty linear should return nothing")
+	}
+}

@@ -1,0 +1,28 @@
+package itemset
+
+import "math/bits"
+
+// bitset is a fixed-width bitmap over transaction row indices.
+type bitset []uint64
+
+// set marks row i.
+func (b bitset) set(i int) { b[i/64] |= 1 << (i % 64) }
+
+// get reports whether row i is marked.
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// and intersects b with o in place. Lengths must match.
+func (b bitset) and(o bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

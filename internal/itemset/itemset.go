@@ -1,0 +1,360 @@
+// Package itemset provides the frequent-pattern plumbing shared by the
+// mining algorithms: an interning dictionary that knows each item's
+// semantics (spatial predicate with its feature type, or non-spatial
+// attribute), sorted integer itemsets with the Apriori join, and a
+// transaction database with both horizontal (row-scan) and vertical
+// (bitmap tidset) support counting.
+package itemset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/qsr"
+)
+
+// Kind classifies an item.
+type Kind int
+
+// Item kinds.
+const (
+	// KindNonSpatial marks attribute items ("murderRate=high").
+	KindNonSpatial Kind = iota
+	// KindSpatial marks qualitative spatial predicates ("contains_slum").
+	KindSpatial
+)
+
+// Meta is the semantic information attached to an interned item. The
+// Apriori-KC+ filter consumes FeatureType; everything else is labeling.
+type Meta struct {
+	// Name is the item string.
+	Name string
+	// Kind distinguishes spatial predicates from attribute items.
+	Kind Kind
+	// FeatureType is the relevant feature type for spatial predicates
+	// ("slum" in "contains_slum"), empty for non-spatial items.
+	FeatureType string
+	// Relation is the qualitative relation of spatial predicates.
+	Relation qsr.Relation
+}
+
+// Dictionary interns item strings to dense int32 IDs and keeps their
+// metadata. IDs are assigned in first-seen order.
+type Dictionary struct {
+	byName map[string]int32
+	metas  []Meta
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byName: make(map[string]int32)}
+}
+
+// Intern returns the ID for name, assigning one on first sight. Spatial
+// predicate semantics are parsed from the name: anything of the form
+// "<relation>_<featureType>" with a known relation is spatial; everything
+// else (notably "attr=value" items) is non-spatial.
+func (d *Dictionary) Intern(name string) int32 {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := int32(len(d.metas))
+	meta := Meta{Name: name, Kind: KindNonSpatial}
+	if !strings.ContainsRune(name, '=') {
+		if p, err := qsr.ParsePredicate(name); err == nil {
+			meta.Kind = KindSpatial
+			meta.FeatureType = p.FeatureType
+			meta.Relation = p.Relation
+		}
+	}
+	d.byName[name] = id
+	d.metas = append(d.metas, meta)
+	return id
+}
+
+// Lookup returns the ID for name without interning.
+func (d *Dictionary) Lookup(name string) (int32, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Meta returns the metadata of an interned item.
+func (d *Dictionary) Meta(id int32) Meta { return d.metas[id] }
+
+// Name returns the item string of an interned item.
+func (d *Dictionary) Name(id int32) string { return d.metas[id].Name }
+
+// Len reports the number of interned items.
+func (d *Dictionary) Len() int { return len(d.metas) }
+
+// SameFeatureType reports whether two items are spatial predicates over
+// the same relevant feature type — the Apriori-KC+ pruning condition.
+func (d *Dictionary) SameFeatureType(a, b int32) bool {
+	ma, mb := d.metas[a], d.metas[b]
+	return ma.Kind == KindSpatial && mb.Kind == KindSpatial &&
+		ma.FeatureType == mb.FeatureType
+}
+
+// Itemset is a set of interned items, sorted ascending. The zero value is
+// the empty set.
+type Itemset []int32
+
+// NewItemset builds a normalised itemset from IDs.
+func NewItemset(ids ...int32) Itemset {
+	s := append(Itemset{}, ids...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	j := 0
+	for i, v := range s {
+		if i == 0 || v != s[j-1] {
+			s[j] = v
+			j++
+		}
+	}
+	return s[:j]
+}
+
+// FromNames interns the names and builds the itemset.
+func FromNames(d *Dictionary, names ...string) Itemset {
+	ids := make([]int32, len(names))
+	for i, n := range names {
+		ids[i] = d.Intern(n)
+	}
+	return NewItemset(ids...)
+}
+
+// Equal reports element-wise equality.
+func (s Itemset) Equal(o Itemset) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAll reports whether s is a superset of sub (both sorted).
+func (s Itemset) ContainsAll(sub Itemset) bool {
+	i := 0
+	for _, v := range sub {
+		for i < len(s) && s[i] < v {
+			i++
+		}
+		if i >= len(s) || s[i] != v {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Contains reports membership of a single item.
+func (s Itemset) Contains(id int32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	return i < len(s) && s[i] == id
+}
+
+// Without returns a copy of s with the item at index idx removed.
+func (s Itemset) Without(idx int) Itemset {
+	out := make(Itemset, 0, len(s)-1)
+	out = append(out, s[:idx]...)
+	return append(out, s[idx+1:]...)
+}
+
+// Union returns the sorted union of two itemsets.
+func (s Itemset) Union(o Itemset) Itemset {
+	out := make(Itemset, 0, len(s)+len(o))
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] < o[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > o[j]:
+			out = append(out, o[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	return append(out, o[j:]...)
+}
+
+// Minus returns s with all members of o removed.
+func (s Itemset) Minus(o Itemset) Itemset {
+	out := make(Itemset, 0, len(s))
+	for _, v := range s {
+		if !o.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// JoinPrefix implements the Apriori join: if s and o have length k-1,
+// share their first k-2 items, and s's last item is smaller than o's, the
+// join is their k-item union. ok is false otherwise.
+func (s Itemset) JoinPrefix(o Itemset) (Itemset, bool) {
+	n := len(s)
+	if n == 0 || len(o) != n {
+		return nil, false
+	}
+	for i := 0; i < n-1; i++ {
+		if s[i] != o[i] {
+			return nil, false
+		}
+	}
+	if s[n-1] >= o[n-1] {
+		return nil, false
+	}
+	out := make(Itemset, n+1)
+	copy(out, s)
+	out[n] = o[n-1]
+	return out, true
+}
+
+// Key returns a compact map key for the itemset.
+func (s Itemset) Key() string {
+	buf := make([]byte, 4*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return string(buf)
+}
+
+// Names renders the member item strings.
+func (s Itemset) Names(d *Dictionary) []string {
+	out := make([]string, len(s))
+	for i, id := range s {
+		out[i] = d.Name(id)
+	}
+	return out
+}
+
+// Format renders the paper's itemset notation: "{a, b, c}".
+func (s Itemset) Format(d *Dictionary) string {
+	return "{" + strings.Join(s.Names(d), ", ") + "}"
+}
+
+// HasSameFeaturePair reports whether the itemset contains two spatial
+// predicates over the same feature type — the property that makes a
+// pattern "meaningless" in the paper's sense.
+func (s Itemset) HasSameFeaturePair(d *Dictionary) bool {
+	seen := make(map[string]struct{}, len(s))
+	for _, id := range s {
+		m := d.Meta(id)
+		if m.Kind != KindSpatial {
+			continue
+		}
+		if _, dup := seen[m.FeatureType]; dup {
+			return true
+		}
+		seen[m.FeatureType] = struct{}{}
+	}
+	return false
+}
+
+// DB is a transaction database ready for mining: interned sorted rows plus
+// lazily built vertical bitmaps.
+type DB struct {
+	Dict *Dictionary
+	// Rows hold each transaction's sorted item IDs.
+	Rows []Itemset
+	// tidsets[i] is the bitmap of rows containing item i; nil until
+	// BuildTidsets runs.
+	tidsets []bitset
+}
+
+// NewDB interns a dataset table into a mining-ready database.
+func NewDB(t *dataset.Table) *DB {
+	db := &DB{Dict: NewDictionary()}
+	for _, tx := range t.Transactions {
+		ids := make([]int32, len(tx.Items))
+		for i, name := range tx.Items {
+			ids[i] = db.Dict.Intern(name)
+		}
+		db.Rows = append(db.Rows, NewItemset(ids...))
+	}
+	return db
+}
+
+// NumTransactions reports the number of rows.
+func (db *DB) NumTransactions() int { return len(db.Rows) }
+
+// BuildTidsets materialises the vertical representation. Idempotent.
+func (db *DB) BuildTidsets() {
+	if db.tidsets != nil {
+		return
+	}
+	db.tidsets = make([]bitset, db.Dict.Len())
+	words := (len(db.Rows) + 63) / 64
+	for i := range db.tidsets {
+		db.tidsets[i] = make(bitset, words)
+	}
+	for row, items := range db.Rows {
+		for _, id := range items {
+			db.tidsets[id].set(row)
+		}
+	}
+}
+
+// Tidset returns the bitmap of rows containing the item. BuildTidsets must
+// have run.
+func (db *DB) Tidset(id int32) []uint64 {
+	if db.tidsets == nil {
+		panic("itemset: Tidset called before BuildTidsets")
+	}
+	return db.tidsets[id]
+}
+
+// SupportHorizontal counts rows containing every item of s by scanning.
+func (db *DB) SupportHorizontal(s Itemset) int {
+	count := 0
+	for _, row := range db.Rows {
+		if row.ContainsAll(s) {
+			count++
+		}
+	}
+	return count
+}
+
+// SupportVertical counts rows containing every item of s by intersecting
+// the member tidsets. BuildTidsets must have run.
+func (db *DB) SupportVertical(s Itemset) int {
+	if len(s) == 0 {
+		return len(db.Rows)
+	}
+	if db.tidsets == nil {
+		panic("itemset: SupportVertical called before BuildTidsets")
+	}
+	acc := append(bitset{}, db.tidsets[s[0]]...)
+	for _, id := range s[1:] {
+		acc.and(db.tidsets[id])
+	}
+	return acc.count()
+}
+
+// ItemCounts returns the per-item support counts in one pass, the
+// workhorse of the first Apriori pass.
+func (db *DB) ItemCounts() []int {
+	counts := make([]int, db.Dict.Len())
+	for _, row := range db.Rows {
+		for _, id := range row {
+			counts[id]++
+		}
+	}
+	return counts
+}
+
+// String renders a compact summary for debugging.
+func (db *DB) String() string {
+	return fmt.Sprintf("itemset.DB{%d rows, %d items}", len(db.Rows), db.Dict.Len())
+}

@@ -1,0 +1,259 @@
+package itemset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/qsr"
+)
+
+func TestDictionaryIntern(t *testing.T) {
+	d := NewDictionary()
+	a := d.Intern("contains_slum")
+	b := d.Intern("murderRate=high")
+	if a2 := d.Intern("contains_slum"); a2 != a {
+		t.Error("re-intern must return the same ID")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	ma := d.Meta(a)
+	if ma.Kind != KindSpatial || ma.FeatureType != "slum" || ma.Relation != qsr.Contains {
+		t.Errorf("spatial meta = %+v", ma)
+	}
+	mb := d.Meta(b)
+	if mb.Kind != KindNonSpatial || mb.FeatureType != "" {
+		t.Errorf("non-spatial meta = %+v", mb)
+	}
+	if d.Name(a) != "contains_slum" {
+		t.Errorf("Name = %q", d.Name(a))
+	}
+	if _, ok := d.Lookup("contains_slum"); !ok {
+		t.Error("Lookup known item failed")
+	}
+	if _, ok := d.Lookup("nope"); ok {
+		t.Error("Lookup unknown item succeeded")
+	}
+	// An item that looks predicate-ish but has an unknown relation is
+	// non-spatial.
+	c := d.Intern("is_a_District")
+	if d.Meta(c).Kind != KindNonSpatial {
+		t.Error("unknown relation should not be spatial")
+	}
+}
+
+func TestDictionarySameFeatureType(t *testing.T) {
+	d := NewDictionary()
+	cs := d.Intern("contains_slum")
+	ts := d.Intern("touches_slum")
+	csch := d.Intern("contains_school")
+	attr := d.Intern("murderRate=high")
+	if !d.SameFeatureType(cs, ts) {
+		t.Error("contains_slum/touches_slum must share feature type")
+	}
+	if d.SameFeatureType(cs, csch) {
+		t.Error("slum/school must not share feature type")
+	}
+	if d.SameFeatureType(cs, attr) || d.SameFeatureType(attr, attr) {
+		t.Error("non-spatial items never share a feature type")
+	}
+}
+
+func TestNewItemsetNormalises(t *testing.T) {
+	s := NewItemset(3, 1, 2, 1, 3)
+	if !s.Equal(Itemset{1, 2, 3}) {
+		t.Errorf("NewItemset = %v", s)
+	}
+	if len(NewItemset()) != 0 {
+		t.Error("empty construction")
+	}
+}
+
+func TestItemsetOps(t *testing.T) {
+	s := Itemset{1, 3, 5}
+	if !s.ContainsAll(Itemset{1, 5}) || !s.ContainsAll(nil) {
+		t.Error("ContainsAll positives failed")
+	}
+	if s.ContainsAll(Itemset{1, 2}) || s.ContainsAll(Itemset{1, 3, 5, 7}) {
+		t.Error("ContainsAll negatives failed")
+	}
+	if !s.Contains(3) || s.Contains(4) {
+		t.Error("Contains wrong")
+	}
+	if got := s.Without(1); !got.Equal(Itemset{1, 5}) {
+		t.Errorf("Without = %v", got)
+	}
+	if got := s.Union(Itemset{2, 3, 9}); !got.Equal(Itemset{1, 2, 3, 5, 9}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := s.Minus(Itemset{3}); !got.Equal(Itemset{1, 5}) {
+		t.Errorf("Minus = %v", got)
+	}
+}
+
+func TestJoinPrefix(t *testing.T) {
+	a := Itemset{1, 2, 3}
+	b := Itemset{1, 2, 5}
+	joined, ok := a.JoinPrefix(b)
+	if !ok || !joined.Equal(Itemset{1, 2, 3, 5}) {
+		t.Errorf("JoinPrefix = %v, %v", joined, ok)
+	}
+	// Reversed order fails (last item not smaller).
+	if _, ok := b.JoinPrefix(a); ok {
+		t.Error("reversed join should fail")
+	}
+	// Different prefixes fail.
+	if _, ok := a.JoinPrefix(Itemset{1, 4, 5}); ok {
+		t.Error("prefix mismatch should fail")
+	}
+	// Length mismatch fails.
+	if _, ok := a.JoinPrefix(Itemset{1, 2}); ok {
+		t.Error("length mismatch should fail")
+	}
+	if _, ok := (Itemset{}).JoinPrefix(Itemset{}); ok {
+		t.Error("empty join should fail")
+	}
+	// Size-1 join.
+	j, ok := (Itemset{1}).JoinPrefix(Itemset{2})
+	if !ok || !j.Equal(Itemset{1, 2}) {
+		t.Errorf("1-item join = %v, %v", j, ok)
+	}
+}
+
+func TestItemsetKeyUnique(t *testing.T) {
+	f := func(a, b []int32) bool {
+		sa, sb := NewItemset(a...), NewItemset(b...)
+		return (sa.Key() == sb.Key()) == sa.Equal(sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestItemsetFormat(t *testing.T) {
+	d := NewDictionary()
+	s := FromNames(d, "contains_slum", "murderRate=high")
+	got := s.Format(d)
+	if got != "{contains_slum, murderRate=high}" && got != "{murderRate=high, contains_slum}" {
+		t.Errorf("Format = %q", got)
+	}
+	names := s.Names(d)
+	if len(names) != 2 {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestHasSameFeaturePair(t *testing.T) {
+	d := NewDictionary()
+	withPair := FromNames(d, "contains_slum", "touches_slum", "murderRate=high")
+	if !withPair.HasSameFeaturePair(d) {
+		t.Error("slum pair not detected")
+	}
+	without := FromNames(d, "contains_slum", "touches_school", "murderRate=high")
+	if without.HasSameFeaturePair(d) {
+		t.Error("false positive on distinct feature types")
+	}
+	attrsOnly := FromNames(d, "murderRate=high", "theftRate=low")
+	if attrsOnly.HasSameFeaturePair(d) {
+		t.Error("non-spatial items can never form a same-feature pair")
+	}
+}
+
+func testTable() *dataset.Table {
+	return dataset.NewTable([]dataset.Transaction{
+		{RefID: "r1", Items: []string{"a", "b", "c"}},
+		{RefID: "r2", Items: []string{"a", "b"}},
+		{RefID: "r3", Items: []string{"a", "c"}},
+		{RefID: "r4", Items: []string{"b"}},
+	})
+}
+
+func TestDBCounting(t *testing.T) {
+	db := NewDB(testTable())
+	if db.NumTransactions() != 4 {
+		t.Fatalf("NumTransactions = %d", db.NumTransactions())
+	}
+	a, _ := db.Dict.Lookup("a")
+	b, _ := db.Dict.Lookup("b")
+	c, _ := db.Dict.Lookup("c")
+
+	counts := db.ItemCounts()
+	if counts[a] != 3 || counts[b] != 3 || counts[c] != 2 {
+		t.Errorf("ItemCounts = %v", counts)
+	}
+	ab := NewItemset(a, b)
+	if got := db.SupportHorizontal(ab); got != 2 {
+		t.Errorf("horizontal support(ab) = %d", got)
+	}
+	db.BuildTidsets()
+	if got := db.SupportVertical(ab); got != 2 {
+		t.Errorf("vertical support(ab) = %d", got)
+	}
+	if got := db.SupportVertical(NewItemset(a, b, c)); got != 1 {
+		t.Errorf("vertical support(abc) = %d", got)
+	}
+	if got := db.SupportVertical(Itemset{}); got != 4 {
+		t.Errorf("vertical support(empty) = %d", got)
+	}
+	// Tidset for item a has rows 0, 1, 2 set.
+	ts := db.Tidset(a)
+	if ts[0] != 0b0111 {
+		t.Errorf("tidset(a) = %b", ts[0])
+	}
+	if got := db.String(); got != "itemset.DB{4 rows, 3 items}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSupportStrategiesAgree(t *testing.T) {
+	// Property: horizontal and vertical counting agree on random subsets.
+	db := NewDB(dataset.PortoAlegreTable())
+	db.BuildTidsets()
+	n := int32(db.Dict.Len())
+	f := func(raw []int32) bool {
+		ids := make([]int32, 0, len(raw))
+		for _, v := range raw {
+			id := v % n
+			if id < 0 {
+				id += n
+			}
+			ids = append(ids, id)
+		}
+		s := NewItemset(ids...)
+		return db.SupportHorizontal(s) == db.SupportVertical(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerticalPanicsWithoutTidsets(t *testing.T) {
+	db := NewDB(testTable())
+	defer func() {
+		if recover() == nil {
+			t.Error("SupportVertical before BuildTidsets should panic")
+		}
+	}()
+	db.SupportVertical(NewItemset(0))
+}
+
+func TestBitset(t *testing.T) {
+	b := make(bitset, 2)
+	b.set(0)
+	b.set(63)
+	b.set(64)
+	if !b.get(0) || !b.get(63) || !b.get(64) || b.get(1) {
+		t.Error("set/get wrong")
+	}
+	if b.count() != 3 {
+		t.Errorf("count = %d", b.count())
+	}
+	o := make(bitset, 2)
+	o.set(0)
+	o.set(64)
+	b.and(o)
+	if b.count() != 2 || b.get(63) {
+		t.Error("and wrong")
+	}
+}

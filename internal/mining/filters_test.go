@@ -1,0 +1,120 @@
+package mining
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+func TestClosedOnly(t *testing.T) {
+	// Classic example: b occurs only with a, so {b} is not closed
+	// ({a, b} has the same support) but {a} is (support 3 > 2).
+	db := itemset.NewDB(dataset.NewTable([]dataset.Transaction{
+		{RefID: "1", Items: []string{"a", "b"}},
+		{RefID: "2", Items: []string{"a", "b"}},
+		{RefID: "3", Items: []string{"a"}},
+	}))
+	res, err := Apriori(db, Config{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := ClosedOnly(res.Frequent)
+	keys := map[string]bool{}
+	for _, f := range closed {
+		keys[f.Items.Format(db.Dict)] = true
+	}
+	if !keys["{a}"] {
+		t.Error("{a} must be closed (support 3)")
+	}
+	if keys["{b}"] {
+		t.Error("{b} must not be closed ({a, b} has equal support)")
+	}
+	if !keys["{a, b}"] {
+		t.Error("{a, b} must be closed")
+	}
+}
+
+func TestMaximalOnly(t *testing.T) {
+	db := table2DB()
+	res, err := Apriori(db, cfg50())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maximal := MaximalOnly(res.Frequent)
+	// Every maximal set must have no frequent superset; every frequent
+	// set must be a subset of some maximal set.
+	for _, m := range maximal {
+		for _, f := range res.Frequent {
+			if len(f.Items) > len(m.Items) && f.Items.ContainsAll(m.Items) {
+				t.Errorf("maximal set %s has frequent superset %s",
+					m.Items.Format(db.Dict), f.Items.Format(db.Dict))
+			}
+		}
+	}
+	for _, f := range res.Frequent {
+		covered := false
+		for _, m := range maximal {
+			if m.Items.ContainsAll(f.Items) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("frequent set %s not covered by any maximal set", f.Items.Format(db.Dict))
+		}
+	}
+	// The Table 2 reconstruction has exactly 2 maximal sets: the big
+	// 6-set and {contains_slum, touches_slum, touches_school}.
+	if len(maximal) != 2 {
+		t.Errorf("maximal sets = %d, want 2", len(maximal))
+	}
+}
+
+func TestClosedSubsumesMaximal(t *testing.T) {
+	// Property: every maximal itemset is closed, and
+	// maximal <= closed <= all.
+	db := table2DB()
+	res, _ := Apriori(db, Config{MinSupport: 0.34})
+	closed := ClosedOnly(res.Frequent)
+	maximal := MaximalOnly(res.Frequent)
+	if len(maximal) > len(closed) || len(closed) > len(res.Frequent) {
+		t.Fatalf("sizes: maximal %d, closed %d, all %d", len(maximal), len(closed), len(res.Frequent))
+	}
+	closedKeys := map[string]bool{}
+	for _, f := range closed {
+		closedKeys[f.Items.Key()] = true
+	}
+	for _, m := range maximal {
+		if !closedKeys[m.Items.Key()] {
+			t.Errorf("maximal set %s not closed", m.Items.Format(db.Dict))
+		}
+	}
+}
+
+func TestFilterDependenciesPostEmptyDeps(t *testing.T) {
+	db := table2DB()
+	res, _ := Apriori(db, cfg50())
+	out := FilterDependenciesPost(res.Frequent, db.Dict, nil)
+	if len(out) != len(res.Frequent) {
+		t.Error("empty Φ must be a no-op copy")
+	}
+	// The copy must be independent.
+	if len(out) > 0 {
+		out[0].Support = -1
+		if res.Frequent[0].Support == -1 {
+			t.Error("post filter aliases the input slice")
+		}
+	}
+}
+
+func TestFilterSameFeaturePostCounts(t *testing.T) {
+	db := table2DB()
+	res, _ := Apriori(db, cfg50())
+	filtered := FilterSameFeaturePost(res.Frequent, db.Dict)
+	removed := len(res.Frequent) - len(filtered)
+	// 30 same-feature itemsets of size >= 2 (size-1 sets never qualify).
+	if removed != 30 {
+		t.Errorf("post filter removed %d, want 30", removed)
+	}
+}

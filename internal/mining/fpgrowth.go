@@ -1,0 +1,265 @@
+package mining
+
+import (
+	"sort"
+
+	"repro/internal/itemset"
+)
+
+// FPGrowth mines the same frequent itemsets as Apriori using the
+// FP-growth algorithm (Han, Pei & Yin): a prefix-tree compression of the
+// database followed by recursive conditional-tree projection. It serves
+// two purposes here: an independent implementation that cross-checks the
+// Apriori-family miners (TestFPGrowthMatchesApriori), and a faster engine
+// for dense low-support workloads.
+//
+// The KC+ same-feature filter and the Φ dependency filter are applied as
+// pattern filters during enumeration: a branch is cut as soon as its
+// prefix contains a forbidden pair, which preserves the anti-monotone
+// semantics of the k=2 candidate pruning in the Apriori formulation.
+func FPGrowth(db *itemset.DB, cfg Config) (*Result, error) {
+	minCount, err := resolveMinSupport(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		MinSupportCount: minCount,
+		NumTransactions: db.NumTransactions(),
+		supportByKey:    make(map[string]int),
+	}
+	deps := buildDepSet(db.Dict, cfg.Dependencies)
+
+	// Pass 1: frequent single items, in descending support order (the
+	// FP-tree insertion order).
+	counts := db.ItemCounts()
+	type itemCount struct {
+		id    int32
+		count int
+	}
+	var frequent []itemCount
+	for id, c := range counts {
+		if c >= minCount {
+			frequent = append(frequent, itemCount{int32(id), c})
+		}
+	}
+	sort.Slice(frequent, func(i, j int) bool {
+		if frequent[i].count != frequent[j].count {
+			return frequent[i].count > frequent[j].count
+		}
+		return frequent[i].id < frequent[j].id
+	})
+	order := make(map[int32]int, len(frequent)) // id -> insertion rank
+	for rank, ic := range frequent {
+		order[ic.id] = rank
+	}
+
+	// Build the FP-tree.
+	tree := newFPTree(len(frequent))
+	row := make([]int32, 0, 16)
+	for _, tx := range db.Rows {
+		row = row[:0]
+		for _, id := range tx {
+			if _, ok := order[id]; ok {
+				row = append(row, id)
+			}
+		}
+		sort.Slice(row, func(i, j int) bool { return order[row[i]] < order[row[j]] })
+		tree.insert(row, 1, order)
+	}
+
+	// Recursive growth.
+	var collect func(prefix itemset.Itemset, t *fpTree)
+	collect = func(prefix itemset.Itemset, t *fpTree) {
+		// Headers iterate in reverse insertion order (least frequent
+		// first), the standard bottom-up projection.
+		for rank := len(t.headers) - 1; rank >= 0; rank-- {
+			h := t.headers[rank]
+			if h.total < minCount || h.head == nil {
+				continue
+			}
+			id := h.id
+			ext := prefix.Union(itemset.Itemset{id})
+			if violates(ext, id, db.Dict, deps, cfg.FilterSameFeature) {
+				continue
+			}
+			res.supportByKey[ext.Key()] = h.total
+			res.Frequent = append(res.Frequent, FrequentItemset{Items: ext, Support: h.total})
+			// Build the conditional tree for this item.
+			cond := t.conditional(rank, minCount)
+			if cond != nil {
+				collect(ext, cond)
+			}
+		}
+	}
+	collect(nil, tree)
+
+	// Normalise output order to match the Apriori result: by size, then
+	// lexicographic item IDs.
+	sort.Slice(res.Frequent, func(i, j int) bool {
+		a, b := res.Frequent[i].Items, res.Frequent[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return res, nil
+}
+
+// violates reports whether adding item id to the pattern creates a
+// forbidden pair (Φ dependency or same feature type) with any existing
+// member.
+func violates(ext itemset.Itemset, id int32, d *itemset.Dictionary, deps map[[2]int32]struct{}, sameFeature bool) bool {
+	for _, other := range ext {
+		if other == id {
+			continue
+		}
+		a, b := other, id
+		if a > b {
+			a, b = b, a
+		}
+		if _, bad := deps[[2]int32{a, b}]; bad {
+			return true
+		}
+		if sameFeature && d.SameFeatureType(a, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// fpNode is one FP-tree node.
+type fpNode struct {
+	id       int32
+	count    int
+	parent   *fpNode
+	next     *fpNode // header-list chaining
+	children map[int32]*fpNode
+}
+
+// fpHeader is the header-table entry for one item.
+type fpHeader struct {
+	id    int32
+	total int
+	head  *fpNode
+}
+
+// fpTree is an FP-tree with its header table, ordered by insertion rank.
+type fpTree struct {
+	root    *fpNode
+	headers []fpHeader
+}
+
+func newFPTree(numItems int) *fpTree {
+	return &fpTree{
+		root:    &fpNode{children: make(map[int32]*fpNode)},
+		headers: make([]fpHeader, 0, numItems),
+	}
+}
+
+// headerIndex finds (or creates) the header slot for an item at a given
+// rank. Ranks are dense and assigned in first-insertion order.
+func (t *fpTree) headerAt(rank int, id int32) *fpHeader {
+	for len(t.headers) <= rank {
+		t.headers = append(t.headers, fpHeader{id: -1})
+	}
+	h := &t.headers[rank]
+	if h.id == -1 {
+		h.id = id
+	}
+	return h
+}
+
+// insert adds one (ordered) transaction with a count.
+func (t *fpTree) insert(row []int32, count int, order map[int32]int) {
+	node := t.root
+	for _, id := range row {
+		child, ok := node.children[id]
+		if !ok {
+			child = &fpNode{id: id, parent: node, children: make(map[int32]*fpNode)}
+			h := t.headerAt(order[id], id)
+			child.next = h.head
+			h.head = child
+			node.children[id] = child
+		}
+		child.count += count
+		h := t.headerAt(order[id], id)
+		h.total += count
+		node = child
+	}
+}
+
+// conditional builds the conditional FP-tree of the item at header rank,
+// keeping only items with conditional support >= minCount. Returns nil
+// when the conditional base is empty.
+func (t *fpTree) conditional(rank int, minCount int) *fpTree {
+	h := t.headers[rank]
+	// Gather conditional pattern base: prefix paths with their counts.
+	type path struct {
+		items []int32 // root-to-parent order (by construction ascending rank)
+		count int
+	}
+	var base []path
+	condCounts := map[int32]int{}
+	for node := h.head; node != nil; node = node.next {
+		var items []int32
+		for p := node.parent; p != nil && p.parent != nil; p = p.parent {
+			items = append(items, p.id)
+		}
+		if len(items) == 0 {
+			continue
+		}
+		// items are parent-to-root; reverse to root-to-parent.
+		for i, j := 0, len(items)-1; i < j; i, j = i+1, j-1 {
+			items[i], items[j] = items[j], items[i]
+		}
+		base = append(base, path{items, node.count})
+		for _, id := range items {
+			condCounts[id] += node.count
+		}
+	}
+	if len(base) == 0 {
+		return nil
+	}
+	// Frequent conditional items, ranked by conditional support.
+	type itemCount struct {
+		id    int32
+		count int
+	}
+	var freq []itemCount
+	for id, c := range condCounts {
+		if c >= minCount {
+			freq = append(freq, itemCount{id, c})
+		}
+	}
+	if len(freq) == 0 {
+		return nil
+	}
+	sort.Slice(freq, func(i, j int) bool {
+		if freq[i].count != freq[j].count {
+			return freq[i].count > freq[j].count
+		}
+		return freq[i].id < freq[j].id
+	})
+	order := make(map[int32]int, len(freq))
+	for rank, ic := range freq {
+		order[ic.id] = rank
+	}
+	cond := newFPTree(len(freq))
+	row := make([]int32, 0, 8)
+	for _, p := range base {
+		row = row[:0]
+		for _, id := range p.items {
+			if _, ok := order[id]; ok {
+				row = append(row, id)
+			}
+		}
+		sort.Slice(row, func(i, j int) bool { return order[row[i]] < order[row[j]] })
+		cond.insert(row, p.count, order)
+	}
+	return cond
+}

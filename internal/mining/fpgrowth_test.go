@@ -1,0 +1,204 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+// resultsEqual compares two mining results as sets of (itemset, support).
+func resultsEqual(t *testing.T, name string, a, b *Result, d *itemset.Dictionary) {
+	t.Helper()
+	if len(a.Frequent) != len(b.Frequent) {
+		t.Errorf("%s: %d vs %d frequent itemsets", name, len(a.Frequent), len(b.Frequent))
+	}
+	bByKey := map[string]int{}
+	for _, f := range b.Frequent {
+		bByKey[f.Items.Key()] = f.Support
+	}
+	for _, f := range a.Frequent {
+		sup, ok := bByKey[f.Items.Key()]
+		if !ok {
+			t.Errorf("%s: %s missing from second result", name, f.Items.Format(d))
+			continue
+		}
+		if sup != f.Support {
+			t.Errorf("%s: support mismatch for %s: %d vs %d", name, f.Items.Format(d), f.Support, sup)
+		}
+	}
+}
+
+func TestFPGrowthMatchesApriori(t *testing.T) {
+	tables := map[string]*dataset.Table{
+		"table1":         dataset.PortoAlegreTable(),
+		"reconstruction": dataset.Table2Reconstruction(),
+	}
+	for name, table := range tables {
+		for _, minsup := range []float64{0.17, 0.34, 0.5, 0.84} {
+			db := itemset.NewDB(table)
+			ap, err := Apriori(db, Config{MinSupport: minsup})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp, err := FPGrowth(db, Config{MinSupport: minsup})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsEqual(t, name, ap, fp, db.Dict)
+			resultsEqual(t, name+"/reverse", fp, ap, db.Dict)
+		}
+	}
+}
+
+func TestFPGrowthKCPlusMatchesAprioriKCPlus(t *testing.T) {
+	db := table2DB()
+	cfg := Config{MinSupport: 0.5, FilterSameFeature: true,
+		Dependencies: []Pair{{A: "contains_slum", B: "contains_school"}}}
+	ap, err := Mine(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := FPGrowth(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "kc+", ap, fp, db.Dict)
+	resultsEqual(t, "kc+/reverse", fp, ap, db.Dict)
+}
+
+// randomTable builds a small random transaction table over an item
+// vocabulary including same-feature predicate pairs.
+func randomTable(rng *rand.Rand, rows, items int) *dataset.Table {
+	vocab := []string{
+		"contains_slum", "touches_slum", "overlaps_slum",
+		"contains_school", "touches_school",
+		"contains_river", "crosses_river",
+		"rate=high", "rate=low", "zone=a",
+	}
+	if items > len(vocab) {
+		items = len(vocab)
+	}
+	txs := make([]dataset.Transaction, rows)
+	for i := range txs {
+		var its []string
+		for j := 0; j < items; j++ {
+			if rng.Float64() < 0.45 {
+				its = append(its, vocab[j])
+			}
+		}
+		txs[i] = dataset.Transaction{RefID: "r", Items: its}
+	}
+	return dataset.NewTable(txs)
+}
+
+// TestMinersAgainstBruteForce is the ground-truth oracle: on small random
+// tables, both miners must produce exactly the itemsets found by
+// exhaustively testing every subset of the item vocabulary.
+func TestMinersAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		table := randomTable(rng, 12, 8)
+		db := itemset.NewDB(table)
+		minsup := 0.25
+		minCount, err := resolveMinSupport(db, Config{MinSupport: minsup})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Brute force over all 2^n subsets.
+		n := db.Dict.Len()
+		truth := map[string]int{}
+		for mask := 1; mask < 1<<uint(n); mask++ {
+			var s itemset.Itemset
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					s = append(s, int32(i))
+				}
+			}
+			if sup := db.SupportHorizontal(s); sup >= minCount {
+				truth[s.Key()] = sup
+			}
+		}
+
+		for name, alg := range map[string]func(*itemset.DB, Config) (*Result, error){
+			"apriori":  Apriori,
+			"fpgrowth": FPGrowth,
+		} {
+			res, err := alg(db, Config{MinSupport: minsup})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Frequent) != len(truth) {
+				t.Errorf("trial %d %s: %d itemsets, truth %d", trial, name, len(res.Frequent), len(truth))
+			}
+			for _, f := range res.Frequent {
+				sup, ok := truth[f.Items.Key()]
+				if !ok {
+					t.Errorf("trial %d %s: spurious %s", trial, name, f.Items.Format(db.Dict))
+					continue
+				}
+				if sup != f.Support {
+					t.Errorf("trial %d %s: support %d, truth %d for %s",
+						trial, name, f.Support, sup, f.Items.Format(db.Dict))
+				}
+			}
+		}
+	}
+}
+
+// TestKCPlusBruteForceEquivalence: KC+ (either engine) must equal the
+// brute-force frequent sets minus those containing a same-feature pair.
+func TestKCPlusBruteForceEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		table := randomTable(rng, 15, 9)
+		db := itemset.NewDB(table)
+		full, err := Apriori(db, Config{MinSupport: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := FilterSameFeaturePost(full.Frequent, db.Dict)
+		for name, alg := range map[string]func(*itemset.DB, Config) (*Result, error){
+			"apriori-kc+": AprioriKCPlus,
+			"fpgrowth-kc+": func(db *itemset.DB, cfg Config) (*Result, error) {
+				cfg.FilterSameFeature = true
+				return FPGrowth(db, cfg)
+			},
+		} {
+			res, err := alg(db, Config{MinSupport: 0.2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Frequent) != len(want) {
+				t.Errorf("trial %d %s: %d vs %d", trial, name, len(res.Frequent), len(want))
+			}
+		}
+	}
+}
+
+func TestFPGrowthErrors(t *testing.T) {
+	db := paperDB()
+	if _, err := FPGrowth(db, Config{}); err == nil {
+		t.Error("zero minsup should fail")
+	}
+	empty := itemset.NewDB(dataset.NewTable(nil))
+	if _, err := FPGrowth(empty, Config{MinSupport: 0.5}); err == nil {
+		t.Error("empty database should fail")
+	}
+}
+
+func TestFPGrowthHighSupport(t *testing.T) {
+	// At 100% support only the universally-present items survive.
+	db := paperDB()
+	res, err := FPGrowth(db, Config{MinSupport: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Frequent {
+		if f.Support != 6 {
+			t.Errorf("itemset %s has support %d at minsup 100%%", f.Items.Format(db.Dict), f.Support)
+		}
+	}
+}

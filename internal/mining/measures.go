@@ -1,0 +1,156 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/itemset"
+)
+
+// Measure identifies an objective interestingness measure over an
+// association rule A -> C. The paper's related work ([5, 16, 17]) surveys
+// these as the transactional approach to pattern filtering — the approach
+// Apriori-KC+ complements (measures cannot eliminate qualitative
+// same-feature patterns, which is the paper's core argument; see
+// TestMeasuresCannotFilterSameFeaturePatterns).
+type Measure int
+
+// Supported measures.
+const (
+	// MeasureSupport is sup(AC)/N.
+	MeasureSupport Measure = iota
+	// MeasureConfidence is sup(AC)/sup(A).
+	MeasureConfidence
+	// MeasureLift is conf / (sup(C)/N).
+	MeasureLift
+	// MeasureLeverage is sup(AC)/N − sup(A)sup(C)/N².
+	MeasureLeverage
+	// MeasureConviction is (1 − sup(C)/N)/(1 − conf).
+	MeasureConviction
+	// MeasureJaccard is sup(AC)/(sup(A)+sup(C)−sup(AC)).
+	MeasureJaccard
+	// MeasureCosine is sup(AC)/sqrt(sup(A)·sup(C)).
+	MeasureCosine
+	// MeasureKulczynski is (conf(A->C)+conf(C->A))/2.
+	MeasureKulczynski
+	// MeasureAllConfidence is sup(AC)/max(sup(A), sup(C)).
+	MeasureAllConfidence
+	// MeasurePhi is the φ correlation coefficient of the 2x2
+	// contingency table.
+	MeasurePhi
+)
+
+// String implements fmt.Stringer.
+func (m Measure) String() string {
+	switch m {
+	case MeasureSupport:
+		return "support"
+	case MeasureConfidence:
+		return "confidence"
+	case MeasureLift:
+		return "lift"
+	case MeasureLeverage:
+		return "leverage"
+	case MeasureConviction:
+		return "conviction"
+	case MeasureJaccard:
+		return "jaccard"
+	case MeasureCosine:
+		return "cosine"
+	case MeasureKulczynski:
+		return "kulczynski"
+	case MeasureAllConfidence:
+		return "allConfidence"
+	case MeasurePhi:
+		return "phi"
+	}
+	return fmt.Sprintf("mining.Measure(%d)", int(m))
+}
+
+// AllMeasures lists every supported measure.
+func AllMeasures() []Measure {
+	return []Measure{
+		MeasureSupport, MeasureConfidence, MeasureLift, MeasureLeverage,
+		MeasureConviction, MeasureJaccard, MeasureCosine,
+		MeasureKulczynski, MeasureAllConfidence, MeasurePhi,
+	}
+}
+
+// Evaluate computes a measure for the rule A -> C against a mining
+// result. The antecedent, consequent, and their union must be frequent in
+// the result (true for every rule GenerateRules emits); otherwise an
+// error is returned.
+func Evaluate(m Measure, res *Result, ante, cons itemset.Itemset) (float64, error) {
+	n := float64(res.NumTransactions)
+	supA, okA := res.Support(ante)
+	supC, okC := res.Support(cons)
+	supAC, okAC := res.Support(ante.Union(cons))
+	if !okA || !okC || !okAC {
+		return 0, fmt.Errorf("mining: rule parts not all frequent in result")
+	}
+	a, c, ac := float64(supA), float64(supC), float64(supAC)
+	switch m {
+	case MeasureSupport:
+		return ac / n, nil
+	case MeasureConfidence:
+		return ac / a, nil
+	case MeasureLift:
+		return (ac / a) / (c / n), nil
+	case MeasureLeverage:
+		return ac/n - (a/n)*(c/n), nil
+	case MeasureConviction:
+		conf := ac / a
+		if conf >= 1 {
+			return math.Inf(1), nil
+		}
+		return (1 - c/n) / (1 - conf), nil
+	case MeasureJaccard:
+		return ac / (a + c - ac), nil
+	case MeasureCosine:
+		return ac / math.Sqrt(a*c), nil
+	case MeasureKulczynski:
+		return (ac/a + ac/c) / 2, nil
+	case MeasureAllConfidence:
+		return ac / math.Max(a, c), nil
+	case MeasurePhi:
+		den := math.Sqrt(a * c * (n - a) * (n - c))
+		if den == 0 {
+			return 0, nil
+		}
+		return (n*ac - a*c) / den, nil
+	}
+	return 0, fmt.Errorf("mining: unknown measure %d", m)
+}
+
+// RankRules orders rules by a measure, descending; ties break by support
+// then antecedent size. Rules whose parts are not in the result are
+// skipped.
+func RankRules(m Measure, res *Result, rules []Rule) []Rule {
+	type scored struct {
+		rule  Rule
+		score float64
+	}
+	ss := make([]scored, 0, len(rules))
+	for _, r := range rules {
+		v, err := Evaluate(m, res, r.Antecedent, r.Consequent)
+		if err != nil {
+			continue
+		}
+		ss = append(ss, scored{r, v})
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		if ss[i].rule.Support != ss[j].rule.Support {
+			return ss[i].rule.Support > ss[j].rule.Support
+		}
+		return len(ss[i].rule.Antecedent) < len(ss[j].rule.Antecedent)
+	})
+	out := make([]Rule, len(ss))
+	for i, s := range ss {
+		out[i] = s.rule
+	}
+	return out
+}

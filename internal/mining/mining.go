@@ -1,0 +1,423 @@
+// Package mining implements the paper's frequent spatial pattern miners:
+// classic Apriori (the baseline), Apriori-KC (which removes candidate
+// pairs listed in a background-knowledge dependency set Φ), and
+// Apriori-KC+ (the paper's contribution: Apriori-KC plus removal of every
+// candidate pair whose two predicates share the same relevant feature
+// type). All pruning happens in pass k = 2, where the anti-monotone
+// property guarantees no superset of a removed pair can ever be generated
+// — Listing 1 of the paper.
+//
+// The package also generates association rules with the standard
+// interestingness measures, and provides closed/maximal post-filters (the
+// paper's future-work direction) and an aposteriori same-feature filter
+// used by the filter-placement ablation.
+package mining
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/itemset"
+)
+
+// Pair is an unordered pair of item names, used for the dependency set Φ.
+type Pair struct {
+	A, B string
+}
+
+// CountingStrategy selects how candidate supports are computed.
+type CountingStrategy int
+
+// Counting strategies. VerticalCounting intersects per-item row bitmaps
+// (fast, the default); HorizontalCounting scans transactions per candidate
+// exactly as Listing 1 of the paper does.
+const (
+	VerticalCounting CountingStrategy = iota
+	HorizontalCounting
+)
+
+// Config parameterises a mining run.
+type Config struct {
+	// MinSupport is the relative minimum support in (0, 1]. Ignored when
+	// MinSupportCount is positive.
+	MinSupport float64
+	// MinSupportCount is the absolute minimum support count; overrides
+	// MinSupport when positive.
+	MinSupportCount int
+	// Dependencies is Φ, the background-knowledge pairs removed from C2
+	// (Apriori-KC). Pairs whose items do not occur in the data are
+	// ignored.
+	Dependencies []Pair
+	// FilterSameFeature enables the Apriori-KC+ step: remove every C2
+	// pair whose items are spatial predicates with the same feature type.
+	FilterSameFeature bool
+	// Counting selects the support-counting strategy.
+	Counting CountingStrategy
+	// MaxLen bounds the itemset size mined; 0 means unbounded.
+	MaxLen int
+	// Parallelism bounds concurrent support counting with the vertical
+	// strategy: 1 (or negative) is sequential, 0 uses GOMAXPROCS.
+	// Results are identical at any setting.
+	Parallelism int
+}
+
+// PassStat records one Apriori pass for the efficiency figures.
+type PassStat struct {
+	// K is the itemset size of the pass.
+	K int
+	// Candidates counts C_k before any filtering.
+	Candidates int
+	// PrunedDeps and PrunedSameFeature count pairs removed at k=2.
+	PrunedDeps, PrunedSameFeature int
+	// Frequent counts L_k.
+	Frequent int
+	// Duration is the wall-clock time of the pass.
+	Duration time.Duration
+}
+
+// FrequentItemset couples an itemset with its absolute support count.
+type FrequentItemset struct {
+	Items   itemset.Itemset
+	Support int
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	// Frequent lists every frequent itemset of size >= 1, ordered by
+	// size then lexicographically by item IDs.
+	Frequent []FrequentItemset
+	// Stats has one entry per executed pass.
+	Stats []PassStat
+	// MinSupportCount is the resolved absolute threshold.
+	MinSupportCount int
+	// NumTransactions is the database size.
+	NumTransactions int
+	// Duration is the total mining wall-clock time.
+	Duration time.Duration
+	// PrunedDeps / PrunedSameFeature total the k=2 removals.
+	PrunedDeps, PrunedSameFeature int
+
+	supportByKey map[string]int
+}
+
+// Support returns the absolute support count of a frequent itemset from
+// the result, and whether the set is frequent.
+func (r *Result) Support(s itemset.Itemset) (int, bool) {
+	c, ok := r.supportByKey[s.Key()]
+	return c, ok
+}
+
+// CountBySize returns a map from itemset size to the number of frequent
+// itemsets of that size.
+func (r *Result) CountBySize() map[int]int {
+	out := make(map[int]int)
+	for _, f := range r.Frequent {
+		out[len(f.Items)]++
+	}
+	return out
+}
+
+// NumFrequent returns the number of frequent itemsets with at least
+// minSize items; the paper reports sizes >= 2.
+func (r *Result) NumFrequent(minSize int) int {
+	n := 0
+	for _, f := range r.Frequent {
+		if len(f.Items) >= minSize {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxLen returns the size of the largest frequent itemset.
+func (r *Result) MaxLen() int {
+	m := 0
+	for _, f := range r.Frequent {
+		if len(f.Items) > m {
+			m = len(f.Items)
+		}
+	}
+	return m
+}
+
+// Apriori runs the classic algorithm: no dependency filter, no
+// same-feature filter.
+func Apriori(db *itemset.DB, cfg Config) (*Result, error) {
+	cfg.Dependencies = nil
+	cfg.FilterSameFeature = false
+	return Mine(db, cfg)
+}
+
+// AprioriKC runs Apriori with the dependency set Φ removed from C2.
+func AprioriKC(db *itemset.DB, cfg Config) (*Result, error) {
+	cfg.FilterSameFeature = false
+	return Mine(db, cfg)
+}
+
+// AprioriKCPlus runs the paper's algorithm: Φ removal plus same-feature
+// pair removal at k = 2.
+func AprioriKCPlus(db *itemset.DB, cfg Config) (*Result, error) {
+	cfg.FilterSameFeature = true
+	return Mine(db, cfg)
+}
+
+// Mine is the generic engine behind the three named algorithms, following
+// Listing 1 of the paper.
+func Mine(db *itemset.DB, cfg Config) (*Result, error) {
+	minCount, err := resolveMinSupport(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if cfg.Counting == VerticalCounting {
+		db.BuildTidsets()
+	}
+	res := &Result{
+		MinSupportCount: minCount,
+		NumTransactions: db.NumTransactions(),
+		supportByKey:    make(map[string]int),
+	}
+	depSet := buildDepSet(db.Dict, cfg.Dependencies)
+
+	// Pass 1: large 1-predicate sets.
+	pass1 := time.Now()
+	counts := db.ItemCounts()
+	var level []FrequentItemset
+	for id, c := range counts {
+		if c >= minCount {
+			level = append(level, FrequentItemset{Items: itemset.Itemset{int32(id)}, Support: c})
+		}
+	}
+	sortLevel(level)
+	res.addLevel(level)
+	res.Stats = append(res.Stats, PassStat{
+		K: 1, Candidates: db.Dict.Len(), Frequent: len(level), Duration: time.Since(pass1),
+	})
+
+	for k := 2; len(level) > 0 && (cfg.MaxLen == 0 || k <= cfg.MaxLen); k++ {
+		passStart := time.Now()
+		stat := PassStat{K: k}
+
+		candidates := aprioriGen(level)
+		stat.Candidates = len(candidates)
+
+		if k == 2 {
+			candidates, stat.PrunedDeps, stat.PrunedSameFeature =
+				filterPairs(db.Dict, candidates, depSet, cfg.FilterSameFeature)
+			res.PrunedDeps = stat.PrunedDeps
+			res.PrunedSameFeature = stat.PrunedSameFeature
+		}
+
+		next := make([]FrequentItemset, 0, len(candidates))
+		switch cfg.Counting {
+		case VerticalCounting:
+			supports := countVertical(db, candidates, cfg.Parallelism)
+			for i, c := range candidates {
+				if supports[i] >= minCount {
+					next = append(next, FrequentItemset{Items: c, Support: supports[i]})
+				}
+			}
+		case HorizontalCounting:
+			supports := countHorizontal(db, candidates)
+			for i, c := range candidates {
+				if supports[i] >= minCount {
+					next = append(next, FrequentItemset{Items: c, Support: supports[i]})
+				}
+			}
+		default:
+			return nil, fmt.Errorf("mining: unknown counting strategy %d", cfg.Counting)
+		}
+		sortLevel(next)
+		stat.Frequent = len(next)
+		stat.Duration = time.Since(passStart)
+		res.Stats = append(res.Stats, stat)
+		res.addLevel(next)
+		level = next
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// resolveMinSupport converts the configured threshold to an absolute
+// count, validating the configuration.
+func resolveMinSupport(db *itemset.DB, cfg Config) (int, error) {
+	if db.NumTransactions() == 0 {
+		return 0, fmt.Errorf("mining: empty database")
+	}
+	if cfg.MinSupportCount > 0 {
+		return cfg.MinSupportCount, nil
+	}
+	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
+		return 0, fmt.Errorf("mining: MinSupport must be in (0, 1], got %v", cfg.MinSupport)
+	}
+	// Ceiling: a set is frequent when support/N >= MinSupport.
+	n := float64(db.NumTransactions())
+	count := int(cfg.MinSupport * n)
+	if float64(count) < cfg.MinSupport*n {
+		count++
+	}
+	if count < 1 {
+		count = 1
+	}
+	return count, nil
+}
+
+// buildDepSet resolves the Φ pairs to interned ID pairs. Unknown items are
+// skipped (they cannot occur in any candidate anyway).
+func buildDepSet(d *itemset.Dictionary, deps []Pair) map[[2]int32]struct{} {
+	if len(deps) == 0 {
+		return nil
+	}
+	set := make(map[[2]int32]struct{}, len(deps))
+	for _, p := range deps {
+		a, okA := d.Lookup(p.A)
+		b, okB := d.Lookup(p.B)
+		if !okA || !okB {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		set[[2]int32{a, b}] = struct{}{}
+	}
+	return set
+}
+
+// filterPairs applies the k=2 filters of Apriori-KC (Φ) and Apriori-KC+
+// (same feature type), returning the surviving candidates and the two
+// removal counts.
+func filterPairs(d *itemset.Dictionary, candidates []itemset.Itemset, deps map[[2]int32]struct{}, sameFeature bool) ([]itemset.Itemset, int, int) {
+	out := candidates[:0]
+	prunedDeps, prunedSame := 0, 0
+	for _, c := range candidates {
+		if len(deps) > 0 {
+			key := [2]int32{c[0], c[1]}
+			if _, dep := deps[key]; dep {
+				prunedDeps++
+				continue
+			}
+		}
+		if sameFeature && d.SameFeatureType(c[0], c[1]) {
+			prunedSame++
+			continue
+		}
+		out = append(out, c)
+	}
+	return out, prunedDeps, prunedSame
+}
+
+// aprioriGen produces C_k from L_{k-1}: the join of prefix-sharing pairs
+// followed by the subset prune (every (k-1)-subset must be frequent).
+func aprioriGen(level []FrequentItemset) []itemset.Itemset {
+	prev := make(map[string]struct{}, len(level))
+	for _, f := range level {
+		prev[f.Items.Key()] = struct{}{}
+	}
+	var out []itemset.Itemset
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			joined, ok := level[i].Items.JoinPrefix(level[j].Items)
+			if !ok {
+				// level is sorted lexicographically, so once the prefix
+				// stops matching no later j can match either.
+				break
+			}
+			if allSubsetsFrequent(joined, prev) {
+				out = append(out, joined)
+			}
+		}
+	}
+	return out
+}
+
+// allSubsetsFrequent implements the Apriori prune step.
+func allSubsetsFrequent(c itemset.Itemset, prev map[string]struct{}) bool {
+	if len(c) <= 2 {
+		return true // both 1-subsets are frequent by construction
+	}
+	for i := range c {
+		if _, ok := prev[c.Without(i).Key()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// countVertical computes candidate supports by tidset intersection,
+// fanning large candidate sets out over a worker pool (candidates are
+// independent).
+func countVertical(db *itemset.DB, candidates []itemset.Itemset, parallelism int) []int {
+	supports := make([]int, len(candidates))
+	workers := parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Below a few hundred candidates the goroutine overhead dominates.
+	if workers <= 1 || len(candidates) < 256 {
+		for i, c := range candidates {
+			supports[i] = db.SupportVertical(c)
+		}
+		return supports
+	}
+	var wg sync.WaitGroup
+	chunk := (len(candidates) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(candidates) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(candidates) {
+			hi = len(candidates)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				supports[i] = db.SupportVertical(candidates[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return supports
+}
+
+// countHorizontal computes candidate supports with one scan over the
+// rows, testing each candidate per row — the subset() loop of Listing 1.
+func countHorizontal(db *itemset.DB, candidates []itemset.Itemset) []int {
+	supports := make([]int, len(candidates))
+	for _, row := range db.Rows {
+		for i, c := range candidates {
+			if row.ContainsAll(c) {
+				supports[i]++
+			}
+		}
+	}
+	return supports
+}
+
+// sortLevel orders itemsets lexicographically by IDs — the order
+// aprioriGen's prefix join expects.
+func sortLevel(level []FrequentItemset) {
+	sort.Slice(level, func(i, j int) bool {
+		a, b := level[i].Items, level[j].Items
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// addLevel appends a pass's frequent sets to the result and indexes their
+// supports.
+func (r *Result) addLevel(level []FrequentItemset) {
+	for _, f := range level {
+		r.supportByKey[f.Items.Key()] = f.Support
+	}
+	r.Frequent = append(r.Frequent, level...)
+}

@@ -1,0 +1,42 @@
+package mining
+
+// Rule-level redundancy elimination, after Bastide et al. [4] and Zaki
+// [19] (the paper's related work on non-redundant association rules).
+// A rule A -> C is redundant when a simpler rule with at least as much
+// information exists at identical quality: some A' ⊆ A and C' ⊇ C with
+// the same support and confidence. The paper's point stands: this removes
+// *redundant* rules, but "non-interesting and meaningless rules are still
+// generated" — only KC+'s semantic filter removes those.
+
+// NonRedundantRules filters a rule list down to the minimal non-redundant
+// rules: r survives unless another rule r' has r'.Antecedent ⊆
+// r.Antecedent, r'.Consequent ⊇ r.Consequent, equal support count and
+// equal confidence, and (r'.Antecedent, r'.Consequent) ≠ (r.Antecedent,
+// r.Consequent). The input order is preserved.
+func NonRedundantRules(rules []Rule) []Rule {
+	out := make([]Rule, 0, len(rules))
+	for i, r := range rules {
+		redundant := false
+		for j, o := range rules {
+			if i == j {
+				continue
+			}
+			if o.SupportCount != r.SupportCount || o.Confidence != r.Confidence {
+				continue
+			}
+			if !r.Antecedent.ContainsAll(o.Antecedent) || !o.Consequent.ContainsAll(r.Consequent) {
+				continue
+			}
+			// o is at least as general; strictness check avoids mutual
+			// elimination of identical rules.
+			if len(o.Antecedent) < len(r.Antecedent) || len(o.Consequent) > len(r.Consequent) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package mining
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+func TestNonRedundantRulesBasic(t *testing.T) {
+	// Database where b occurs exactly when a does: rules {a}->{b} and
+	// {a,c}->{b} have identical support/confidence on the c-rows, making
+	// the longer antecedent redundant.
+	db := itemset.NewDB(dataset.NewTable([]dataset.Transaction{
+		{RefID: "1", Items: []string{"a", "b", "c"}},
+		{RefID: "2", Items: []string{"a", "b", "c"}},
+		{RefID: "3", Items: []string{"c"}},
+	}))
+	res, err := Apriori(db, Config{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := GenerateRules(res, 0.9)
+	filtered := NonRedundantRules(rules)
+	if len(filtered) >= len(rules) {
+		t.Fatalf("nothing filtered: %d -> %d", len(rules), len(filtered))
+	}
+	has := func(rs []Rule, ante, cons []string) bool {
+		a := itemset.FromNames(db.Dict, ante...)
+		c := itemset.FromNames(db.Dict, cons...)
+		for _, r := range rs {
+			if r.Antecedent.Equal(a) && r.Consequent.Equal(c) {
+				return true
+			}
+		}
+		return false
+	}
+	// The most general, most informative rule survives...
+	if !has(filtered, []string{"a"}, []string{"b", "c"}) {
+		t.Error("{a} -> {b,c} must survive")
+	}
+	// ...and its strictly weaker variants disappear.
+	if has(filtered, []string{"a", "c"}, []string{"b"}) {
+		t.Error("{a,c} -> {b} is redundant (same support/confidence as {a} -> {b,c})")
+	}
+	if has(filtered, []string{"a"}, []string{"b"}) {
+		t.Error("{a} -> {b} is redundant (consequent of {a} -> {b,c} is larger)")
+	}
+}
+
+func TestNonRedundantRulesKeepsDistinctQuality(t *testing.T) {
+	// Rules with different confidence are never redundant w.r.t. each
+	// other.
+	db := rulesDB()
+	res, err := Apriori(db, Config{MinSupport: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := GenerateRules(res, 0)
+	filtered := NonRedundantRules(rules)
+	find := func(rs []Rule, ante, cons []string) bool {
+		a := itemset.FromNames(db.Dict, ante...)
+		c := itemset.FromNames(db.Dict, cons...)
+		for _, r := range rs {
+			if r.Antecedent.Equal(a) && r.Consequent.Equal(c) {
+				return true
+			}
+		}
+		return false
+	}
+	// c->a (conf 0.75) is incomparable with the conf-1 rules: survives.
+	if !find(filtered, []string{"c"}, []string{"a"}) {
+		t.Error("c -> a must survive (distinct confidence)")
+	}
+	// b -> {a,c} (conf 1) survives; b -> a is redundant against it.
+	if !find(filtered, []string{"b"}, []string{"a", "c"}) {
+		t.Error("b -> {a,c} must survive")
+	}
+	if find(filtered, []string{"b"}, []string{"a"}) {
+		t.Error("b -> a is redundant against b -> {a,c}")
+	}
+}
+
+func TestNonRedundantRulesIdenticalDuplicates(t *testing.T) {
+	// Exact duplicate rules must not eliminate each other (strictness
+	// check); both survive.
+	db := rulesDB()
+	res, _ := Apriori(db, Config{MinSupport: 0.25})
+	rules := GenerateRules(res, 0.99)
+	doubled := append(append([]Rule{}, rules...), rules...)
+	filtered := NonRedundantRules(doubled)
+	if len(filtered) != 2*len(NonRedundantRules(rules)) {
+		t.Errorf("duplicate handling wrong: %d vs %d", len(filtered), 2*len(NonRedundantRules(rules)))
+	}
+}
+
+func TestNonRedundantEmpty(t *testing.T) {
+	if got := NonRedundantRules(nil); len(got) != 0 {
+		t.Error("empty input")
+	}
+}

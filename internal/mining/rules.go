@@ -1,0 +1,107 @@
+package mining
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/itemset"
+)
+
+// Rule is an association rule A -> C with the standard interestingness
+// measures. Support figures are relative (fractions of the database).
+type Rule struct {
+	Antecedent, Consequent itemset.Itemset
+	// SupportCount is the absolute support of A ∪ C.
+	SupportCount int
+	// Support = sup(A ∪ C) / N.
+	Support float64
+	// Confidence = sup(A ∪ C) / sup(A).
+	Confidence float64
+	// Lift = confidence / (sup(C) / N); > 1 indicates positive
+	// correlation.
+	Lift float64
+	// Leverage = sup(AC)/N − sup(A)/N · sup(C)/N.
+	Leverage float64
+	// Conviction = (1 − sup(C)/N) / (1 − confidence); +Inf for exact
+	// rules.
+	Conviction float64
+}
+
+// Format renders the rule in the paper's arrow notation.
+func (r Rule) Format(d *itemset.Dictionary) string {
+	return strings.TrimPrefix(r.Antecedent.Format(d), "") + " -> " + r.Consequent.Format(d)
+}
+
+// GenerateRules derives all association rules with confidence >= minConf
+// from the frequent itemsets of a mining result. Rules are ordered by
+// descending confidence, then descending support, then antecedent size.
+func GenerateRules(res *Result, minConf float64) []Rule {
+	n := float64(res.NumTransactions)
+	var rules []Rule
+	for _, f := range res.Frequent {
+		if len(f.Items) < 2 {
+			continue
+		}
+		for _, ante := range properSubsets(f.Items) {
+			cons := f.Items.Minus(ante)
+			anteSup, ok := res.Support(ante)
+			if !ok || anteSup == 0 {
+				continue
+			}
+			conf := float64(f.Support) / float64(anteSup)
+			if conf < minConf {
+				continue
+			}
+			consSup, ok := res.Support(cons)
+			if !ok {
+				continue
+			}
+			consFrac := float64(consSup) / n
+			rule := Rule{
+				Antecedent:   ante,
+				Consequent:   cons,
+				SupportCount: f.Support,
+				Support:      float64(f.Support) / n,
+				Confidence:   conf,
+				Leverage:     float64(f.Support)/n - float64(anteSup)/n*consFrac,
+			}
+			if consFrac > 0 {
+				rule.Lift = conf / consFrac
+			}
+			if conf < 1 {
+				rule.Conviction = (1 - consFrac) / (1 - conf)
+			} else {
+				rule.Conviction = math.Inf(1)
+			}
+			rules = append(rules, rule)
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		return len(rules[i].Antecedent) < len(rules[j].Antecedent)
+	})
+	return rules
+}
+
+// properSubsets enumerates the non-empty proper subsets of s. Sizes are
+// bounded by frequent-itemset lengths, so the 2^n enumeration is fine.
+func properSubsets(s itemset.Itemset) []itemset.Itemset {
+	n := len(s)
+	out := make([]itemset.Itemset, 0, (1<<n)-2)
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		sub := make(itemset.Itemset, 0, n-1)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, s[i])
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/itemset"
+)
+
+// MineTopK returns (at least) the k highest-support frequent itemsets of
+// size >= minSize without requiring the caller to guess a minimum
+// support: the threshold starts at the database size and halves until
+// enough itemsets qualify, then the result is trimmed to the support of
+// the k-th itemset (so equal-support ties are all included). The cfg's
+// filters (Φ, same-feature) apply as usual; cfg support settings are
+// ignored.
+//
+// Top-k mining is the practical entry point when a user cannot name a
+// support threshold — a common situation with spatial data, where
+// predicate frequencies vary wildly between feature types (the paper's
+// streets-vs-rivers remark at the end of Section 4.2).
+func MineTopK(db *itemset.DB, cfg Config, k, minSize int) (*Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("mining: k must be positive, got %d", k)
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	if db.NumTransactions() == 0 {
+		return nil, fmt.Errorf("mining: empty database")
+	}
+	threshold := db.NumTransactions()
+	var res *Result
+	for {
+		cfg.MinSupport = 0
+		cfg.MinSupportCount = threshold
+		var err error
+		res, err = Mine(db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if res.NumFrequent(minSize) >= k || threshold == 1 {
+			break
+		}
+		threshold /= 2
+		if threshold < 1 {
+			threshold = 1
+		}
+	}
+	// Collect qualifying itemsets, best-support first.
+	qualifying := make([]FrequentItemset, 0, res.NumFrequent(minSize))
+	for _, f := range res.Frequent {
+		if len(f.Items) >= minSize {
+			qualifying = append(qualifying, f)
+		}
+	}
+	sort.SliceStable(qualifying, func(i, j int) bool {
+		return qualifying[i].Support > qualifying[j].Support
+	})
+	if len(qualifying) > k {
+		// Keep everything tied with the k-th support.
+		cut := qualifying[k-1].Support
+		end := k
+		for end < len(qualifying) && qualifying[end].Support == cut {
+			end++
+		}
+		qualifying = qualifying[:end]
+	}
+	// Rebuild the result view around the trimmed set (Support lookups
+	// keep working for every mined itemset).
+	res.Frequent = qualifying
+	return res, nil
+}

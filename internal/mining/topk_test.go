@@ -1,0 +1,96 @@
+package mining
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+func TestMineTopKBasic(t *testing.T) {
+	db := table2DB()
+	res, err := MineTopK(db, Config{}, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frequent) < 5 {
+		t.Fatalf("top-5 returned %d itemsets", len(res.Frequent))
+	}
+	// Descending support, all of size >= 2.
+	for i, f := range res.Frequent {
+		if len(f.Items) < 2 {
+			t.Errorf("itemset %d below minSize", i)
+		}
+		if i > 0 && f.Support > res.Frequent[i-1].Support {
+			t.Error("not ordered by support")
+		}
+	}
+	// Ties with the k-th support are all included: no itemset outside
+	// the result may beat the last included support.
+	full, _ := Apriori(db, Config{MinSupportCount: 1})
+	last := res.Frequent[len(res.Frequent)-1].Support
+	included := map[string]bool{}
+	for _, f := range res.Frequent {
+		included[f.Items.Key()] = true
+	}
+	for _, f := range full.Frequent {
+		if len(f.Items) >= 2 && f.Support > last && !included[f.Items.Key()] {
+			t.Errorf("itemset %s (support %d) beats included support %d but is missing",
+				f.Items.Format(db.Dict), f.Support, last)
+		}
+	}
+}
+
+func TestMineTopKWithKCPlusFilter(t *testing.T) {
+	db := table2DB()
+	cfg := Config{FilterSameFeature: true}
+	res, err := MineTopK(db, cfg, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Frequent {
+		if f.Items.HasSameFeaturePair(db.Dict) {
+			t.Errorf("same-feature itemset in top-k: %s", f.Items.Format(db.Dict))
+		}
+	}
+}
+
+func TestMineTopKMoreThanExists(t *testing.T) {
+	db := paperDB()
+	res, err := MineTopK(db, Config{}, 100000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must terminate at threshold 1 and return everything.
+	full, _ := Apriori(db, Config{MinSupportCount: 1})
+	if len(res.Frequent) != full.NumFrequent(2) {
+		t.Errorf("exhaustive top-k = %d, want %d", len(res.Frequent), full.NumFrequent(2))
+	}
+}
+
+func TestMineTopKErrors(t *testing.T) {
+	db := paperDB()
+	if _, err := MineTopK(db, Config{}, 0, 2); err == nil {
+		t.Error("k=0 should fail")
+	}
+	empty := itemset.NewDB(dataset.NewTable(nil))
+	if _, err := MineTopK(empty, Config{}, 5, 2); err == nil {
+		t.Error("empty db should fail")
+	}
+}
+
+func TestMineTopKOnGeneratedData(t *testing.T) {
+	table, err := datagen.PaperDataset2(datagen.DefaultSeed, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := itemset.NewDB(table)
+	res, err := MineTopK(db, Config{FilterSameFeature: true}, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frequent) < 20 {
+		t.Errorf("top-20 on 500 rows returned %d", len(res.Frequent))
+	}
+}

@@ -1,0 +1,98 @@
+package transact
+
+import "testing"
+
+func TestEqualWidth(t *testing.T) {
+	fd, err := EqualWidth{Bins: 3}.Fit([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]string{0: "low", 3: "low", 3.1: "medium", 6: "medium", 6.1: "high", 9: "high"}
+	for v, want := range cases {
+		if got := fd.Label(v); got != want {
+			t.Errorf("Label(%v) = %q, want %q", v, got, want)
+		}
+	}
+	// Out-of-range values clamp to the extreme bins.
+	if fd.Label(-100) != "low" || fd.Label(1e9) != "high" {
+		t.Error("out-of-range labeling wrong")
+	}
+}
+
+func TestEqualWidthErrors(t *testing.T) {
+	if _, err := (EqualWidth{Bins: 1}).Fit([]float64{1}); err == nil {
+		t.Error("1 bin should fail")
+	}
+	if _, err := (EqualWidth{Bins: 3}).Fit(nil); err == nil {
+		t.Error("empty column should fail")
+	}
+}
+
+func TestEqualFrequency(t *testing.T) {
+	// Skewed column: equal width would put almost everything in one bin;
+	// equal frequency must split by rank.
+	col := []float64{1, 1, 2, 2, 3, 3, 100, 100, 1000}
+	fd, err := EqualFrequency{Bins: 3}.Fit(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fd.Label(1); got != "low" {
+		t.Errorf("Label(1) = %q", got)
+	}
+	if got := fd.Label(1000); got != "high" {
+		t.Errorf("Label(1000) = %q", got)
+	}
+	if got := fd.Label(3); got == fd.Label(1000) {
+		t.Error("middle and top of a skewed column should differ")
+	}
+}
+
+func TestEqualFrequencyErrors(t *testing.T) {
+	if _, err := (EqualFrequency{Bins: 0}).Fit([]float64{1}); err == nil {
+		t.Error("0 bins should fail")
+	}
+	if _, err := (EqualFrequency{Bins: 2}).Fit(nil); err == nil {
+		t.Error("empty column should fail")
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	fd, err := Thresholds{Cuts: []float64{10, 20}, Labels: []string{"low", "medium", "high"}}.Fit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Label(5) != "low" || fd.Label(15) != "medium" || fd.Label(25) != "high" {
+		t.Error("threshold labeling wrong")
+	}
+	if fd.Label(10) != "low" || fd.Label(20) != "medium" {
+		t.Error("boundary values belong to the lower bin")
+	}
+}
+
+func TestThresholdsErrors(t *testing.T) {
+	if _, err := (Thresholds{Cuts: []float64{1}, Labels: []string{"a"}}).Fit(nil); err == nil {
+		t.Error("label/cut count mismatch should fail")
+	}
+	if _, err := (Thresholds{Cuts: []float64{5, 3}, Labels: []string{"a", "b", "c"}}).Fit(nil); err == nil {
+		t.Error("descending cuts should fail")
+	}
+}
+
+func TestDefaultLabels(t *testing.T) {
+	if got := defaultLabels(2); got[0] != "low" || got[1] != "high" {
+		t.Errorf("2 bins = %v", got)
+	}
+	if got := defaultLabels(5); got[0] != "b0" || got[4] != "b4" {
+		t.Errorf("5 bins = %v", got)
+	}
+}
+
+func TestDefaultDiscretizer(t *testing.T) {
+	fd, err := DefaultDiscretizer().Fit([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fd.Labels) != 3 {
+		t.Errorf("default discretizer bins = %d", len(fd.Labels))
+	}
+}

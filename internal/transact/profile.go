@@ -1,0 +1,109 @@
+package transact
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/qsr"
+)
+
+// TableProfile summarises a transaction table the way the paper describes
+// its experimental datasets: how many spatial predicates over how many
+// feature types, how many same-feature pairs, attribute columns, and
+// per-item supports. It answers "what will the KC+ filter have to work
+// with" before mining.
+type TableProfile struct {
+	// Transactions is the row count.
+	Transactions int
+	// SpatialPredicates is the number of distinct spatial predicate
+	// items.
+	SpatialPredicates int
+	// FeatureTypes maps each relevant feature type to its number of
+	// distinct relations in the table.
+	FeatureTypes map[string]int
+	// SameFeaturePairs counts the predicate pairs sharing a feature type
+	// — the candidates Apriori-KC+ removes at k=2 (if frequent).
+	SameFeaturePairs int
+	// Attributes maps each non-spatial attribute to its distinct values.
+	Attributes map[string][]string
+	// ItemSupport maps every item to its absolute support.
+	ItemSupport map[string]int
+	// AvgItemsPerRow is the mean transaction length.
+	AvgItemsPerRow float64
+}
+
+// Profile computes the table profile.
+func Profile(t *dataset.Table) *TableProfile {
+	p := &TableProfile{
+		Transactions: t.Len(),
+		FeatureTypes: map[string]int{},
+		Attributes:   map[string][]string{},
+		ItemSupport:  map[string]int{},
+	}
+	totalItems := 0
+	attrValues := map[string]map[string]struct{}{}
+	for _, tx := range t.Transactions {
+		totalItems += len(tx.Items)
+		for _, it := range tx.Items {
+			p.ItemSupport[it]++
+		}
+	}
+	for it := range p.ItemSupport {
+		if i := strings.IndexByte(it, '='); i >= 0 {
+			name, value := it[:i], it[i+1:]
+			if attrValues[name] == nil {
+				attrValues[name] = map[string]struct{}{}
+			}
+			attrValues[name][value] = struct{}{}
+			continue
+		}
+		if pred, err := qsr.ParsePredicate(it); err == nil {
+			p.SpatialPredicates++
+			p.FeatureTypes[pred.FeatureType]++
+		}
+	}
+	for name, values := range attrValues {
+		vs := make([]string, 0, len(values))
+		for v := range values {
+			vs = append(vs, v)
+		}
+		sort.Strings(vs)
+		p.Attributes[name] = vs
+	}
+	for _, c := range p.FeatureTypes {
+		p.SameFeaturePairs += c * (c - 1) / 2
+	}
+	if t.Len() > 0 {
+		p.AvgItemsPerRow = float64(totalItems) / float64(t.Len())
+	}
+	return p
+}
+
+// Format renders the profile as readable text.
+func (p *TableProfile) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transactions:        %d\n", p.Transactions)
+	fmt.Fprintf(&b, "avg items per row:   %.1f\n", p.AvgItemsPerRow)
+	fmt.Fprintf(&b, "spatial predicates:  %d over %d feature types\n",
+		p.SpatialPredicates, len(p.FeatureTypes))
+	fmt.Fprintf(&b, "same-feature pairs:  %d\n", p.SameFeaturePairs)
+	types := make([]string, 0, len(p.FeatureTypes))
+	for ft := range p.FeatureTypes {
+		types = append(types, ft)
+	}
+	sort.Strings(types)
+	for _, ft := range types {
+		fmt.Fprintf(&b, "  %-24s %d relations\n", ft, p.FeatureTypes[ft])
+	}
+	attrs := make([]string, 0, len(p.Attributes))
+	for a := range p.Attributes {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		fmt.Fprintf(&b, "attribute %-16s values %v\n", a, p.Attributes[a])
+	}
+	return b.String()
+}

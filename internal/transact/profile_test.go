@@ -1,0 +1,85 @@
+package transact
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+func TestProfilePortoAlegre(t *testing.T) {
+	p := Profile(dataset.PortoAlegreTable())
+	if p.Transactions != 6 {
+		t.Errorf("transactions = %d", p.Transactions)
+	}
+	// The paper's Section 2 statistics: 7 spatial predicates, 2
+	// non-spatial attributes.
+	if p.SpatialPredicates != 7 {
+		t.Errorf("spatial predicates = %d, want 7", p.SpatialPredicates)
+	}
+	if len(p.Attributes) != 2 {
+		t.Errorf("attributes = %v", p.Attributes)
+	}
+	if got := p.FeatureTypes["slum"]; got != 4 {
+		t.Errorf("slum relations = %d, want 4", got)
+	}
+	if got := p.FeatureTypes["school"]; got != 2 {
+		t.Errorf("school relations = %d, want 2", got)
+	}
+	// Same-feature pairs: C(4,2) + C(2,2) + C(1,2)=0 -> 7.
+	if p.SameFeaturePairs != 7 {
+		t.Errorf("same-feature pairs = %d, want 7", p.SameFeaturePairs)
+	}
+	if p.ItemSupport["contains_slum"] != 6 {
+		t.Errorf("support(contains_slum) = %d", p.ItemSupport["contains_slum"])
+	}
+	if len(p.Attributes["murderRate"]) != 2 {
+		t.Errorf("murderRate values = %v", p.Attributes["murderRate"])
+	}
+	if p.AvgItemsPerRow <= 5 || p.AvgItemsPerRow >= 8 {
+		t.Errorf("avg items per row = %v", p.AvgItemsPerRow)
+	}
+}
+
+func TestProfileMatchesPublishedDatasetStats(t *testing.T) {
+	// The generator statistics tests in datagen assert these numbers
+	// independently; Profile must agree.
+	table, err := datagen.PaperDataset1(datagen.DefaultSeed, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Profile(table)
+	if p.SpatialPredicates != 13 {
+		t.Errorf("dataset 1 spatial predicates = %d, want 13", p.SpatialPredicates)
+	}
+	if p.SameFeaturePairs != 9 {
+		t.Errorf("dataset 1 same-feature pairs = %d, want 9", p.SameFeaturePairs)
+	}
+	if len(p.FeatureTypes) != 6 {
+		t.Errorf("dataset 1 feature types = %d, want 6", len(p.FeatureTypes))
+	}
+}
+
+func TestProfileFormat(t *testing.T) {
+	p := Profile(dataset.PortoAlegreTable())
+	out := p.Format()
+	for _, want := range []string{
+		"transactions:        6",
+		"spatial predicates:  7 over 3 feature types",
+		"same-feature pairs:  7",
+		"slum",
+		"murderRate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileEmpty(t *testing.T) {
+	p := Profile(dataset.NewTable(nil))
+	if p.Transactions != 0 || p.AvgItemsPerRow != 0 || p.SpatialPredicates != 0 {
+		t.Errorf("empty profile = %+v", p)
+	}
+}
