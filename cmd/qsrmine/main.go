@@ -8,9 +8,13 @@
 //	qsrmine -data city.json -minsup 0.1 -alg apriori -rules -minconf 0.7
 //	qsrmine -table transactions.csv -minsup 0.05
 //	qsrmine -data city.json -deps "contains_street:contains_illuminationPoint,..."
+//	qsrmine -sample -trace                  # per-stage wall time + per-pass counts
+//	qsrmine -sample -json-metrics           # machine-readable stage/pass metrics
+//	qsrmine -data city.json -timeout 30s    # abort runaway low-support runs
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,7 +38,6 @@ func run() error {
 		dataPath  = flag.String("data", "", "dataset JSON file (WKT geometries)")
 		tablePath = flag.String("table", "", "transaction table CSV file (refID,item,item,...)")
 		sample    = flag.Bool("sample", false, "use the built-in Porto Alegre sample scene")
-		algName   = flag.String("alg", "apriori-kc+", "algorithm: apriori, apriori-kc, apriori-kc+")
 		minsup    = flag.Float64("minsup", 0.5, "relative minimum support in (0, 1]")
 		depsFlag  = flag.String("deps", "", "dependency pairs Φ: a:b,c:d,... (item names)")
 		rules     = flag.Bool("rules", false, "generate association rules")
@@ -44,13 +47,19 @@ func run() error {
 		maximal   = flag.Bool("maximal", false, "keep only maximal frequent itemsets")
 		format    = flag.String("format", "text", "output format: text or json")
 		profile   = flag.Bool("profile", false, "print the transaction-table profile before mining")
+		trace     = flag.Bool("trace", false, "stream per-stage wall time and per-pass counts to stderr")
+		jsonMet   = flag.Bool("json-metrics", false, "print stage/pass/counter metrics as JSON after the results")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
+	// Algorithm and PostFilter implement encoding.TextMarshaler /
+	// TextUnmarshaler, so the flag package parses and prints them
+	// directly.
+	alg := qsrmine.AprioriKCPlus
+	flag.TextVar(&alg, "alg", alg, "algorithm: apriori, apriori-kc, apriori-kc+, fpgrowth-kc+")
+	postFilter := qsrmine.NoPostFilter
+	flag.TextVar(&postFilter, "postfilter", postFilter, "post filter: none, closed, maximal")
 	flag.Parse()
 
-	alg, err := qsrmine.ParseAlgorithm(*algName)
-	if err != nil {
-		return err
-	}
 	deps, err := parseDeps(*depsFlag)
 	if err != nil {
 		return err
@@ -61,6 +70,7 @@ func run() error {
 		Dependencies:  deps,
 		GenerateRules: *rules,
 		MinConfidence: *minconf,
+		PostFilter:    postFilter,
 	}
 	switch {
 	case *closed && *maximal:
@@ -71,27 +81,53 @@ func run() error {
 		cfg.PostFilter = qsrmine.MaximalFilter
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var (
+		tr        *qsrmine.Trace
+		collector *qsrmine.TraceCollector
+	)
+	if *trace || *jsonMet {
+		var sinks []qsrmine.TraceSink
+		if *trace {
+			sinks = append(sinks, qsrmine.NewTextTraceSink(os.Stderr))
+		}
+		if *jsonMet {
+			collector = qsrmine.NewTraceCollector()
+			sinks = append(sinks, collector)
+		}
+		tr = qsrmine.NewTrace(qsrmine.MultiTraceSink(sinks...))
+		ctx = qsrmine.WithTrace(ctx, tr)
+	}
+
 	var out *qsrmine.Outcome
 	switch {
 	case *sample:
-		out, err = qsrmine.Run(qsrmine.PortoAlegreScene(), cfg)
+		out, err = qsrmine.RunContext(ctx, qsrmine.PortoAlegreScene(), cfg)
 	case *dataPath != "":
 		ds, loadErr := qsrmine.LoadDataset(*dataPath)
 		if loadErr != nil {
 			return loadErr
 		}
-		out, err = qsrmine.Run(ds, cfg)
+		out, err = qsrmine.RunContext(ctx, ds, cfg)
 	case *tablePath != "":
 		table, loadErr := qsrmine.LoadTable(*tablePath)
 		if loadErr != nil {
 			return loadErr
 		}
-		out, err = qsrmine.RunTable(table, cfg)
+		out, err = qsrmine.RunTableContext(ctx, table, cfg)
 	default:
 		return fmt.Errorf("provide -data FILE, -table FILE, or -sample")
 	}
 	if err != nil {
 		return err
+	}
+	if *trace {
+		fmt.Fprint(os.Stderr, qsrmine.FormatTraceCounters(tr.Counters()))
 	}
 	if *profile && *format != "json" {
 		fmt.Println("-- table profile --")
@@ -99,7 +135,10 @@ func run() error {
 		fmt.Println()
 	}
 	if *format == "json" {
-		return writeJSON(os.Stdout, alg.String(), out, *rules)
+		if err := writeJSON(os.Stdout, alg.String(), out, *rules); err != nil {
+			return err
+		}
+		return writeMetrics(os.Stdout, collector, tr)
 	}
 	if *format != "text" {
 		return fmt.Errorf("unknown format %q (want text or json)", *format)
@@ -140,7 +179,16 @@ func run() error {
 				r.Format(out.DB.Dict), r.Confidence, r.Lift, r.Support)
 		}
 	}
-	return nil
+	return writeMetrics(os.Stdout, collector, tr)
+}
+
+// writeMetrics prints the collected stage/pass/counter metrics as one
+// JSON document; a nil collector (no -json-metrics) is a no-op.
+func writeMetrics(w io.Writer, collector *qsrmine.TraceCollector, tr *qsrmine.Trace) error {
+	if collector == nil {
+		return nil
+	}
+	return collector.WriteJSON(w, tr)
 }
 
 // parseDeps parses "a:b,c:d" into Φ pairs (":" separates the pair so

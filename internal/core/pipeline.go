@@ -10,11 +10,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/obs"
 	"repro/internal/transact"
 )
 
@@ -114,45 +116,80 @@ type Outcome struct {
 	Rules []mining.Rule
 }
 
-// Run executes the full pipeline on a geographic dataset.
+// Run executes the full pipeline on a geographic dataset. It is
+// RunContext with a background context, kept for callers that need
+// neither cancellation nor tracing.
 func Run(d *dataset.Dataset, cfg Config) (*Outcome, error) {
+	return RunContext(context.Background(), d, cfg)
+}
+
+// RunContext executes the full pipeline on a geographic dataset,
+// honouring ctx cancellation/deadlines in every stage and emitting stage
+// spans and mining pass events to any obs.Trace attached to ctx (see
+// obs.WithTrace).
+//
+// A zero cfg.Extraction — and only the exact zero value — is replaced by
+// transact.DefaultOptions. Any deliberately non-zero Options with all
+// relation families off performs attributes-only extraction.
+func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Outcome, error) {
 	opts := cfg.Extraction
-	if !opts.Topological && !opts.Distance && !opts.Directional {
+	if opts.IsZero() {
 		opts = transact.DefaultOptions()
 	}
-	table, err := transact.Extract(d, opts)
+	tr := obs.FromContext(ctx)
+	sp := tr.Stage("extract")
+	table, err := transact.ExtractContext(ctx, d, opts)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: extraction: %w", err)
 	}
-	return RunTable(table, cfg)
+	return RunTableContext(ctx, table, cfg)
 }
 
 // RunTable executes the mining stages on an existing transaction table
-// (e.g. one loaded from disk or produced by a generator).
+// (e.g. one loaded from disk or produced by a generator). It is
+// RunTableContext with a background context.
 func RunTable(table *dataset.Table, cfg Config) (*Outcome, error) {
+	return RunTableContext(context.Background(), table, cfg)
+}
+
+// RunTableContext executes the mining stages on an existing transaction
+// table, honouring ctx cancellation/deadlines between (and inside)
+// mining passes and emitting stage spans and pass events to any
+// obs.Trace attached to ctx. A cancelled run returns ctx.Err()
+// (context.Canceled or context.DeadlineExceeded), unwrappable with
+// errors.Is through the "core: mining:" wrapping.
+func RunTableContext(ctx context.Context, table *dataset.Table, cfg Config) (*Outcome, error) {
+	tr := obs.FromContext(ctx)
+	sp := tr.Stage("intern")
 	db := itemset.NewDB(table)
+	sp.End()
 	mcfg := mining.Config{
 		MinSupport:   cfg.MinSupport,
 		Dependencies: cfg.Dependencies,
 	}
 	var res *mining.Result
 	var err error
+	sp = tr.Stage("mine")
 	switch cfg.Algorithm {
 	case AlgApriori:
-		res, err = mining.Apriori(db, mcfg)
+		res, err = mining.AprioriContext(ctx, db, mcfg)
 	case AlgAprioriKC:
-		res, err = mining.AprioriKC(db, mcfg)
+		res, err = mining.AprioriKCContext(ctx, db, mcfg)
 	case AlgAprioriKCPlus:
-		res, err = mining.AprioriKCPlus(db, mcfg)
+		res, err = mining.AprioriKCPlusContext(ctx, db, mcfg)
 	case AlgFPGrowthKCPlus:
 		mcfg.FilterSameFeature = true
-		res, err = mining.FPGrowth(db, mcfg)
+		res, err = mining.FPGrowthContext(ctx, db, mcfg)
 	default:
+		sp.End()
 		return nil, fmt.Errorf("core: unknown algorithm %d", cfg.Algorithm)
 	}
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: mining: %w", err)
 	}
+	sp = tr.Stage("postfilter")
 	switch cfg.PostFilter {
 	case NoPostFilter:
 	case ClosedFilter:
@@ -160,11 +197,18 @@ func RunTable(table *dataset.Table, cfg Config) (*Outcome, error) {
 	case MaximalFilter:
 		res.Frequent = mining.MaximalOnly(res.Frequent)
 	default:
+		sp.End()
 		return nil, fmt.Errorf("core: unknown post filter %d", cfg.PostFilter)
 	}
+	sp.End()
 	out := &Outcome{Table: table, DB: db, Result: res}
 	if cfg.GenerateRules {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sp = tr.Stage("rules")
 		out.Rules = mining.GenerateRules(res, cfg.MinConfidence)
+		sp.End()
 	}
 	return out, nil
 }

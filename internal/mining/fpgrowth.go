@@ -1,9 +1,12 @@
 package mining
 
 import (
+	"context"
 	"sort"
+	"time"
 
 	"repro/internal/itemset"
+	"repro/internal/obs"
 )
 
 // FPGrowth mines the same frequent itemsets as Apriori using the
@@ -18,10 +21,26 @@ import (
 // prefix contains a forbidden pair, which preserves the anti-monotone
 // semantics of the k=2 candidate pruning in the Apriori formulation.
 func FPGrowth(db *itemset.DB, cfg Config) (*Result, error) {
+	return FPGrowthContext(context.Background(), db, cfg)
+}
+
+// FPGrowthContext is FPGrowth honouring ctx cancellation/deadlines
+// (checked per header-table projection, so deep recursions stop
+// promptly) and emitting per-size pass events to any obs.Trace attached
+// to ctx. FP-growth generates no explicit candidate sets, so the
+// synthesized pass stats report Candidates equal to Frequent; branch
+// prunes from the Φ and same-feature filters are totalled on the k=2
+// stat.
+func FPGrowthContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, error) {
 	minCount, err := resolveMinSupport(db, cfg)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	tr := obs.FromContext(ctx)
 	res := &Result{
 		MinSupportCount: minCount,
 		NumTransactions: db.NumTransactions(),
@@ -31,6 +50,7 @@ func FPGrowth(db *itemset.DB, cfg Config) (*Result, error) {
 
 	// Pass 1: frequent single items, in descending support order (the
 	// FP-tree insertion order).
+	pass1 := time.Now()
 	counts := db.ItemCounts()
 	type itemCount struct {
 		id    int32
@@ -68,10 +88,14 @@ func FPGrowth(db *itemset.DB, cfg Config) (*Result, error) {
 	}
 
 	// Recursive growth.
-	var collect func(prefix itemset.Itemset, t *fpTree)
-	collect = func(prefix itemset.Itemset, t *fpTree) {
+	var collect func(prefix itemset.Itemset, t *fpTree) error
+	collect = func(prefix itemset.Itemset, t *fpTree) error {
 		// Headers iterate in reverse insertion order (least frequent
-		// first), the standard bottom-up projection.
+		// first), the standard bottom-up projection. The ctx check per
+		// projection keeps deep low-support recursions cancellable.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for rank := len(t.headers) - 1; rank >= 0; rank-- {
 			h := t.headers[rank]
 			if h.total < minCount || h.head == nil {
@@ -79,7 +103,12 @@ func FPGrowth(db *itemset.DB, cfg Config) (*Result, error) {
 			}
 			id := h.id
 			ext := prefix.Union(itemset.Itemset{id})
-			if violates(ext, id, db.Dict, deps, cfg.FilterSameFeature) {
+			switch violates(ext, id, db.Dict, deps, cfg.FilterSameFeature) {
+			case violationDep:
+				res.PrunedDeps++
+				continue
+			case violationSameFeature:
+				res.PrunedSameFeature++
 				continue
 			}
 			res.supportByKey[ext.Key()] = h.total
@@ -87,11 +116,16 @@ func FPGrowth(db *itemset.DB, cfg Config) (*Result, error) {
 			// Build the conditional tree for this item.
 			cond := t.conditional(rank, minCount)
 			if cond != nil {
-				collect(ext, cond)
+				if err := collect(ext, cond); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
-	collect(nil, tree)
+	if err := collect(nil, tree); err != nil {
+		return nil, err
+	}
 
 	// Normalise output order to match the Apriori result: by size, then
 	// lexicographic item IDs.
@@ -107,13 +141,49 @@ func FPGrowth(db *itemset.DB, cfg Config) (*Result, error) {
 		}
 		return false
 	})
+	res.Stats = fpStats(res, time.Since(pass1))
+	for _, s := range res.Stats {
+		tr.Pass(s.Event())
+	}
+	res.Duration = time.Since(start)
 	return res, nil
 }
 
+// fpStats synthesizes per-size pass statistics from a sorted FP-growth
+// result, attributing the whole enumeration's wall time to pass 1 (the
+// engine has no per-pass phases) and the branch-prune totals to k=2.
+func fpStats(res *Result, elapsed time.Duration) []PassStat {
+	bySize := res.CountBySize()
+	maxLen := res.MaxLen()
+	stats := make([]PassStat, 0, maxLen)
+	for k := 1; k <= maxLen; k++ {
+		s := PassStat{K: k, Candidates: bySize[k], Frequent: bySize[k]}
+		if k == 1 {
+			s.Duration = elapsed
+		}
+		if k == 2 {
+			s.PrunedDeps = res.PrunedDeps
+			s.PrunedSameFeature = res.PrunedSameFeature
+		}
+		stats = append(stats, s)
+	}
+	return stats
+}
+
+// violation classifies why a pattern extension is forbidden.
+type violation int
+
+// Violation kinds; violationNone means the extension is admissible.
+const (
+	violationNone violation = iota
+	violationDep
+	violationSameFeature
+)
+
 // violates reports whether adding item id to the pattern creates a
 // forbidden pair (Φ dependency or same feature type) with any existing
-// member.
-func violates(ext itemset.Itemset, id int32, d *itemset.Dictionary, deps map[[2]int32]struct{}, sameFeature bool) bool {
+// member, and which filter fired.
+func violates(ext itemset.Itemset, id int32, d *itemset.Dictionary, deps map[[2]int32]struct{}, sameFeature bool) violation {
 	for _, other := range ext {
 		if other == id {
 			continue
@@ -123,13 +193,13 @@ func violates(ext itemset.Itemset, id int32, d *itemset.Dictionary, deps map[[2]
 			a, b = b, a
 		}
 		if _, bad := deps[[2]int32{a, b}]; bad {
-			return true
+			return violationDep
 		}
 		if sameFeature && d.SameFeatureType(a, b) {
-			return true
+			return violationSameFeature
 		}
 	}
-	return false
+	return violationNone
 }
 
 // fpNode is one FP-tree node.

@@ -14,6 +14,7 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/itemset"
+	"repro/internal/obs"
 )
 
 // Pair is an unordered pair of item names, used for the dependency set Φ.
@@ -76,6 +78,18 @@ type PassStat struct {
 	Frequent int
 	// Duration is the wall-clock time of the pass.
 	Duration time.Duration
+}
+
+// Event converts the pass statistics into an observability pass event.
+func (p PassStat) Event() obs.PassEvent {
+	return obs.PassEvent{
+		K:                 p.K,
+		Candidates:        p.Candidates,
+		PrunedDeps:        p.PrunedDeps,
+		PrunedSameFeature: p.PrunedSameFeature,
+		Frequent:          p.Frequent,
+		Duration:          p.Duration,
+	}
 }
 
 // FrequentItemset couples an itemset with its absolute support count.
@@ -146,31 +160,62 @@ func (r *Result) MaxLen() int {
 // Apriori runs the classic algorithm: no dependency filter, no
 // same-feature filter.
 func Apriori(db *itemset.DB, cfg Config) (*Result, error) {
+	return AprioriContext(context.Background(), db, cfg)
+}
+
+// AprioriContext is Apriori honouring ctx cancellation/deadlines and
+// emitting pass events to any obs.Trace attached to ctx.
+func AprioriContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, error) {
 	cfg.Dependencies = nil
 	cfg.FilterSameFeature = false
-	return Mine(db, cfg)
+	return MineContext(ctx, db, cfg)
 }
 
 // AprioriKC runs Apriori with the dependency set Φ removed from C2.
 func AprioriKC(db *itemset.DB, cfg Config) (*Result, error) {
+	return AprioriKCContext(context.Background(), db, cfg)
+}
+
+// AprioriKCContext is AprioriKC honouring ctx cancellation/deadlines and
+// emitting pass events to any obs.Trace attached to ctx.
+func AprioriKCContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, error) {
 	cfg.FilterSameFeature = false
-	return Mine(db, cfg)
+	return MineContext(ctx, db, cfg)
 }
 
 // AprioriKCPlus runs the paper's algorithm: Φ removal plus same-feature
 // pair removal at k = 2.
 func AprioriKCPlus(db *itemset.DB, cfg Config) (*Result, error) {
+	return AprioriKCPlusContext(context.Background(), db, cfg)
+}
+
+// AprioriKCPlusContext is AprioriKCPlus honouring ctx
+// cancellation/deadlines and emitting pass events to any obs.Trace
+// attached to ctx.
+func AprioriKCPlusContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, error) {
 	cfg.FilterSameFeature = true
-	return Mine(db, cfg)
+	return MineContext(ctx, db, cfg)
 }
 
 // Mine is the generic engine behind the three named algorithms, following
 // Listing 1 of the paper.
 func Mine(db *itemset.DB, cfg Config) (*Result, error) {
+	return MineContext(context.Background(), db, cfg)
+}
+
+// MineContext is Mine with cancellation and observability: ctx is checked
+// between passes and periodically inside support counting (a cancelled
+// run returns ctx.Err() promptly and discards partial output), and each
+// pass is reported to the obs.Trace attached to ctx, if any.
+func MineContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, error) {
 	minCount, err := resolveMinSupport(db, cfg)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tr := obs.FromContext(ctx)
 	start := time.Now()
 	if cfg.Counting == VerticalCounting {
 		db.BuildTidsets()
@@ -193,11 +238,15 @@ func Mine(db *itemset.DB, cfg Config) (*Result, error) {
 	}
 	sortLevel(level)
 	res.addLevel(level)
-	res.Stats = append(res.Stats, PassStat{
-		K: 1, Candidates: db.Dict.Len(), Frequent: len(level), Duration: time.Since(pass1),
-	})
+	stat1 := PassStat{K: 1, Candidates: db.Dict.Len(), Frequent: len(level), Duration: time.Since(pass1)}
+	res.Stats = append(res.Stats, stat1)
+	tr.Pass(stat1.Event())
 
 	for k := 2; len(level) > 0 && (cfg.MaxLen == 0 || k <= cfg.MaxLen); k++ {
+		// Long low-support runs honour cancellation between passes.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		passStart := time.Now()
 		stat := PassStat{K: k}
 
@@ -211,29 +260,31 @@ func Mine(db *itemset.DB, cfg Config) (*Result, error) {
 			res.PrunedSameFeature = stat.PrunedSameFeature
 		}
 
-		next := make([]FrequentItemset, 0, len(candidates))
+		var supports []int
 		switch cfg.Counting {
 		case VerticalCounting:
-			supports := countVertical(db, candidates, cfg.Parallelism)
-			for i, c := range candidates {
-				if supports[i] >= minCount {
-					next = append(next, FrequentItemset{Items: c, Support: supports[i]})
-				}
-			}
+			supports = countVertical(ctx, db, candidates, cfg.Parallelism)
 		case HorizontalCounting:
-			supports := countHorizontal(db, candidates)
-			for i, c := range candidates {
-				if supports[i] >= minCount {
-					next = append(next, FrequentItemset{Items: c, Support: supports[i]})
-				}
-			}
+			supports = countHorizontal(ctx, db, candidates)
 		default:
 			return nil, fmt.Errorf("mining: unknown counting strategy %d", cfg.Counting)
+		}
+		// A cancellation inside the counters leaves partial supports;
+		// discard them rather than emit a wrong level.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		next := make([]FrequentItemset, 0, len(candidates))
+		for i, c := range candidates {
+			if supports[i] >= minCount {
+				next = append(next, FrequentItemset{Items: c, Support: supports[i]})
+			}
 		}
 		sortLevel(next)
 		stat.Frequent = len(next)
 		stat.Duration = time.Since(passStart)
 		res.Stats = append(res.Stats, stat)
+		tr.Pass(stat.Event())
 		res.addLevel(next)
 		level = next
 	}
@@ -346,10 +397,16 @@ func allSubsetsFrequent(c itemset.Itemset, prev map[string]struct{}) bool {
 	return true
 }
 
+// cancelCheckStride bounds how many hot-loop iterations run between
+// ctx.Err() checks: rare enough to be free, frequent enough that a
+// cancelled pass stops promptly.
+const cancelCheckStride = 256
+
 // countVertical computes candidate supports by tidset intersection,
 // fanning large candidate sets out over a worker pool (candidates are
-// independent).
-func countVertical(db *itemset.DB, candidates []itemset.Itemset, parallelism int) []int {
+// independent). A cancelled ctx makes the counters bail out early; the
+// caller must check ctx before using the (then partial) supports.
+func countVertical(ctx context.Context, db *itemset.DB, candidates []itemset.Itemset, parallelism int) []int {
 	supports := make([]int, len(candidates))
 	workers := parallelism
 	if workers == 0 {
@@ -358,6 +415,9 @@ func countVertical(db *itemset.DB, candidates []itemset.Itemset, parallelism int
 	// Below a few hundred candidates the goroutine overhead dominates.
 	if workers <= 1 || len(candidates) < 256 {
 		for i, c := range candidates {
+			if i%cancelCheckStride == 0 && ctx.Err() != nil {
+				return supports
+			}
 			supports[i] = db.SupportVertical(c)
 		}
 		return supports
@@ -377,6 +437,9 @@ func countVertical(db *itemset.DB, candidates []itemset.Itemset, parallelism int
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				if (i-lo)%cancelCheckStride == 0 && ctx.Err() != nil {
+					return
+				}
 				supports[i] = db.SupportVertical(candidates[i])
 			}
 		}(lo, hi)
@@ -387,9 +450,14 @@ func countVertical(db *itemset.DB, candidates []itemset.Itemset, parallelism int
 
 // countHorizontal computes candidate supports with one scan over the
 // rows, testing each candidate per row — the subset() loop of Listing 1.
-func countHorizontal(db *itemset.DB, candidates []itemset.Itemset) []int {
+// Cancellation is checked per row; the caller must check ctx before
+// using the (then partial) supports.
+func countHorizontal(ctx context.Context, db *itemset.DB, candidates []itemset.Itemset) []int {
 	supports := make([]int, len(candidates))
-	for _, row := range db.Rows {
+	for ri, row := range db.Rows {
+		if ri%cancelCheckStride == 0 && ctx.Err() != nil {
+			return supports
+		}
 		for i, c := range candidates {
 			if row.ContainsAll(c) {
 				supports[i]++

@@ -1,0 +1,23 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context key for the attached Trace.
+type ctxKey struct{}
+
+// WithTrace attaches a Trace to a context. A nil trace returns ctx
+// unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the attached Trace, or nil when none is attached —
+// and a nil Trace is a valid no-op receiver, so callers use the result
+// unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StageRecord is one completed stage as retained by a Collector.
+type StageRecord struct {
+	// Name is the stage name.
+	Name string `json:"name"`
+	// Start is when the stage began.
+	Start time.Time `json:"start"`
+	// Duration is the stage wall time.
+	Duration time.Duration `json:"wallNanos"`
+	// AllocBytes is the allocation delta (0 unless tracking was enabled).
+	AllocBytes uint64 `json:"allocBytes,omitempty"`
+}
+
+// Collector is an in-memory Sink retaining every event, with typed views
+// over the completed stages and mining passes. Safe for concurrent use.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit implements Sink.
+func (c *Collector) Emit(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a snapshot copy of all collected events in emission
+// order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Stages returns the completed stages in completion order.
+func (c *Collector) Stages() []StageRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []StageRecord
+	for _, e := range c.events {
+		if e.Kind == KindStageEnd {
+			out = append(out, StageRecord{
+				Name:       e.Stage,
+				Start:      e.Time.Add(-e.Duration),
+				Duration:   e.Duration,
+				AllocBytes: e.AllocBytes,
+			})
+		}
+	}
+	return out
+}
+
+// Passes returns the mining pass events in emission order.
+func (c *Collector) Passes() []PassEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []PassEvent
+	for _, e := range c.events {
+		if e.Kind == KindPass {
+			out = append(out, e.Pass)
+		}
+	}
+	return out
+}
+
+// Metrics is the machine-readable summary of one traced run: completed
+// stages, mining passes, and the trace's aggregate counters.
+type Metrics struct {
+	Stages   []StageRecord    `json:"stages"`
+	Passes   []PassEvent      `json:"passes"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Metrics assembles the summary document. t may be nil (counters are
+// then omitted).
+func (c *Collector) Metrics(t *Trace) Metrics {
+	return Metrics{Stages: c.Stages(), Passes: c.Passes(), Counters: t.Counters()}
+}
+
+// WriteJSON writes the Metrics summary as one indented JSON document.
+func (c *Collector) WriteJSON(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Metrics(t))
+}
+
+// TextSink streams human-readable trace lines to a writer: one line per
+// completed stage and one per mining pass. Begin events are not printed.
+type TextSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextSink returns a TextSink writing to w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Emit implements Sink.
+func (s *TextSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch e.Kind {
+	case KindStageEnd:
+		if e.AllocBytes > 0 {
+			fmt.Fprintf(s.w, "[trace] stage %-12s %12v  alloc %s\n", e.Stage, e.Duration, formatBytes(e.AllocBytes))
+		} else {
+			fmt.Fprintf(s.w, "[trace] stage %-12s %12v\n", e.Stage, e.Duration)
+		}
+	case KindPass:
+		p := e.Pass
+		fmt.Fprintf(s.w, "[trace]   pass k=%d  candidates=%d pruned_deps=%d pruned_same=%d frequent=%d  (%v)\n",
+			p.K, p.Candidates, p.PrunedDeps, p.PrunedSameFeature, p.Frequent, p.Duration)
+	}
+}
+
+// formatBytes renders a byte count with a binary unit suffix.
+func formatBytes(b uint64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%dB", b)
+	}
+	div, exp := uint64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}
+
+// JSONSink streams every event as one JSON object per line (NDJSON).
+type JSONSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONSink returns a JSONSink writing to w.
+func NewJSONSink(w io.Writer) *JSONSink { return &JSONSink{enc: json.NewEncoder(w)} }
+
+// Emit implements Sink.
+func (s *JSONSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Encoding errors are unreportable from a sink; drop them.
+	_ = s.enc.Encode(e)
+}
+
+// multiSink fans events out to several sinks.
+type multiSink []Sink
+
+// Emit implements Sink.
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Multi combines sinks into one. Nil entries are skipped; a single
+// surviving sink is returned unwrapped, and zero sinks yield nil.
+func Multi(sinks ...Sink) Sink {
+	var out multiSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// FormatCounters renders a counter snapshot as sorted "name value"
+// lines, for the CLI's -trace epilogue.
+func FormatCounters(counters map[string]int64) string {
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b []byte
+	for _, n := range names {
+		b = append(b, fmt.Sprintf("[trace] counter %-28s %d\n", n, counters[n])...)
+	}
+	return string(b)
+}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/obs"
 	"repro/internal/qsr"
 	"repro/internal/taxonomy"
 	"repro/internal/transact"
@@ -191,6 +192,8 @@ type (
 var (
 	// Extract computes the transaction table of a dataset.
 	Extract = transact.Extract
+	// ExtractContext is Extract with cancellation and tracing.
+	ExtractContext = transact.ExtractContext
 	// DefaultExtractOptions is topological extraction at type
 	// granularity with R-tree acceleration.
 	DefaultExtractOptions = transact.DefaultOptions
@@ -237,6 +240,9 @@ const (
 	// AprioriKCPlus additionally filters same-feature-type pairs — the
 	// paper's contribution.
 	AprioriKCPlus = core.AlgAprioriKCPlus
+	// FPGrowthKCPlus mines the Apriori-KC+ pattern set with the
+	// FP-growth engine.
+	FPGrowthKCPlus = core.AlgFPGrowthKCPlus
 )
 
 // Post filters (the paper's future-work redundancy elimination).
@@ -253,10 +259,17 @@ const (
 var (
 	// Run executes extraction + mining (+ rules) on a dataset.
 	Run = core.Run
+	// RunContext is Run honouring context cancellation/deadlines and
+	// emitting observability events (see NewTrace / WithTrace).
+	RunContext = core.RunContext
 	// RunTable executes mining (+ rules) on a transaction table.
 	RunTable = core.RunTable
+	// RunTableContext is RunTable with cancellation and tracing.
+	RunTableContext = core.RunTableContext
 	// ParseAlgorithm parses "apriori", "apriori-kc", "apriori-kc+".
 	ParseAlgorithm = core.ParseAlgorithm
+	// ParsePostFilter parses "none", "closed", "maximal".
+	ParsePostFilter = core.ParsePostFilter
 	// GenerateRules derives association rules from a mining result.
 	GenerateRules = mining.GenerateRules
 	// ClosedOnly filters to closed itemsets.
@@ -281,6 +294,49 @@ var (
 	GainTable3 = gain.Table3
 	// TotalLowerBound is the sum-of-binomials bound of Section 4.1.
 	TotalLowerBound = gain.TotalLowerBound
+)
+
+// Observability: stage tracing, pass metrics, and counters for
+// context-aware pipeline runs. Attach a Trace to a context with
+// WithTrace and pass it to RunContext/RunTableContext/ExtractContext.
+type (
+	// Trace is the per-run observability handle (nil is a valid no-op).
+	Trace = obs.Trace
+	// TraceSink receives trace events; see NewTraceCollector,
+	// NewTextTraceSink, NewJSONTraceSink.
+	TraceSink = obs.Sink
+	// TraceEvent is one observation (stage begin/end or mining pass).
+	TraceEvent = obs.Event
+	// TraceCollector retains events in memory with typed views.
+	TraceCollector = obs.Collector
+	// PassEvent carries one mining pass's candidate/pruned/frequent
+	// counts.
+	PassEvent = obs.PassEvent
+	// StageRecord is one completed pipeline stage with its wall time.
+	StageRecord = obs.StageRecord
+	// TraceMetrics is the machine-readable summary of a traced run.
+	TraceMetrics = obs.Metrics
+)
+
+// Observability constructors and helpers.
+var (
+	// NewTrace creates a Trace emitting to a sink (nil sink: counters
+	// only).
+	NewTrace = obs.New
+	// WithTrace attaches a Trace to a context.
+	WithTrace = obs.WithTrace
+	// TraceFromContext recovers the attached Trace (nil when absent).
+	TraceFromContext = obs.FromContext
+	// NewTraceCollector creates an in-memory event collector.
+	NewTraceCollector = obs.NewCollector
+	// NewTextTraceSink streams human-readable trace lines to a writer.
+	NewTextTraceSink = obs.NewTextSink
+	// NewJSONTraceSink streams NDJSON trace events to a writer.
+	NewJSONTraceSink = obs.NewJSONSink
+	// MultiTraceSink fans events out to several sinks.
+	MultiTraceSink = obs.Multi
+	// FormatTraceCounters renders a counter snapshot as sorted lines.
+	FormatTraceCounters = obs.FormatCounters
 )
 
 // Interestingness measures (the transactional filtering approach the
