@@ -69,6 +69,7 @@ func mineBench(b *testing.B, table *dataset.Table, cfg mining.Config,
 	db := itemset.NewDB(table)
 	db.BuildTidsets()
 	var frequent int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := alg(db, cfg)
@@ -178,6 +179,7 @@ func BenchmarkCounting(b *testing.B) {
 			db := itemset.NewDB(benchData1)
 			db.BuildTidsets()
 			cfg := mining.Config{MinSupport: 0.10, Counting: strat.c}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := mining.Apriori(db, cfg); err != nil {
@@ -196,6 +198,7 @@ func BenchmarkFilterPlacement(b *testing.B) {
 	b.Run("AprioriPlacement", func(b *testing.B) {
 		db := itemset.NewDB(benchData1)
 		db.BuildTidsets()
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := mining.AprioriKCPlus(db, mining.Config{MinSupport: 0.05}); err != nil {
 				b.Fatal(err)
@@ -205,6 +208,7 @@ func BenchmarkFilterPlacement(b *testing.B) {
 	b.Run("AposterioriPlacement", func(b *testing.B) {
 		db := itemset.NewDB(benchData1)
 		db.BuildTidsets()
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := mining.Apriori(db, mining.Config{MinSupport: 0.05})
 			if err != nil {
@@ -303,8 +307,8 @@ func BenchmarkScalingRows(b *testing.B) {
 	}
 }
 
-// BenchmarkFPGrowthVsApriori contrasts the two engines on the dense
-// low-support end where tree projection pays off.
+// BenchmarkFPGrowthVsApriori contrasts the engines on the dense
+// low-support end where tree projection and vertical diffsets pay off.
 func BenchmarkFPGrowthVsApriori(b *testing.B) {
 	benchSetup(b)
 	b.Run("Apriori", func(b *testing.B) {
@@ -313,4 +317,70 @@ func BenchmarkFPGrowthVsApriori(b *testing.B) {
 	b.Run("FPGrowth", func(b *testing.B) {
 		mineBench(b, benchData1, mining.Config{MinSupport: 0.03}, mining.FPGrowth)
 	})
+	b.Run("Eclat", func(b *testing.B) {
+		mineBench(b, benchData1, mining.Config{MinSupport: 0.03}, mining.Eclat)
+	})
+}
+
+// supportBenchCandidates builds the sorted, prefix-sharing k=3 candidate
+// stream (the aprioriGen output shape) over dataset 1's frequent items.
+func supportBenchCandidates(b *testing.B, db *itemset.DB) []itemset.Itemset {
+	b.Helper()
+	counts := db.ItemCounts()
+	var items []int32
+	for id, c := range counts {
+		if c >= 25 && len(items) < 16 {
+			items = append(items, int32(id))
+		}
+	}
+	if len(items) < 4 {
+		b.Fatal("not enough frequent items for the support benchmark")
+	}
+	var cands []itemset.Itemset
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			for k := j + 1; k < len(items); k++ {
+				cands = append(cands, itemset.Itemset{items[i], items[j], items[k]})
+			}
+		}
+	}
+	return cands
+}
+
+// BenchmarkSupportVerticalBaseline counts a sorted candidate stream with
+// the per-call SupportVertical path (fresh intersection per candidate) —
+// the pre-overhaul behaviour, kept as the comparison baseline for
+// BenchmarkSupportVerticalPrefix.
+func BenchmarkSupportVerticalBaseline(b *testing.B) {
+	benchSetup(b)
+	db := itemset.NewDB(benchData1)
+	db.BuildTidsets()
+	cands := supportBenchCandidates(b, db)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cands {
+			db.SupportVertical(c)
+		}
+	}
+	b.ReportMetric(float64(len(cands)), "candidates")
+}
+
+// BenchmarkSupportVerticalPrefix counts the same stream with the
+// prefix-cached VerticalCounter: shared (k-1)-prefix intersections are
+// reused and steady-state counting is allocation-free.
+func BenchmarkSupportVerticalPrefix(b *testing.B) {
+	benchSetup(b)
+	db := itemset.NewDB(benchData1)
+	db.BuildTidsets()
+	cands := supportBenchCandidates(b, db)
+	vc := db.NewVerticalCounter()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cands {
+			vc.Support(c)
+		}
+	}
+	b.ReportMetric(float64(len(cands)), "candidates")
 }

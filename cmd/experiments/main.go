@@ -7,6 +7,7 @@
 //	experiments -run table2  # run one experiment
 //	experiments -list        # list experiment identifiers
 //	experiments -timing      # append per-stage wall time and a summary
+//	experiments -bench-json BENCH_mining.json   # machine-readable mining benchmarks
 package main
 
 import (
@@ -22,8 +23,16 @@ func main() {
 	run := flag.String("run", "", "experiment identifier to run (default: all)")
 	list := flag.Bool("list", false, "list available experiment identifiers")
 	timing := flag.Bool("timing", false, "print per-experiment wall time and a timing summary")
+	benchJSON := flag.String("bench-json", "", "measure the Figure 4-7 mining workloads and write JSON results (ns/op, allocs/op, pass stats) to this file, then exit")
 	flag.Parse()
 
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -55,6 +64,23 @@ func main() {
 		}
 		fmt.Printf("  %-12s %12v\n", "total", total.Round(time.Microsecond))
 	}
+}
+
+// writeBenchJSON measures the mining workloads and writes the results
+// to path ("-" for stdout).
+func writeBenchJSON(path string) error {
+	if path == "-" {
+		return experiments.WriteMiningBenchJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteMiningBenchJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runOne executes and prints one experiment, returning its wall time.

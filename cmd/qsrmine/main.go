@@ -55,7 +55,7 @@ func run() error {
 	// TextUnmarshaler, so the flag package parses and prints them
 	// directly.
 	alg := qsrmine.AprioriKCPlus
-	flag.TextVar(&alg, "alg", alg, "algorithm: apriori, apriori-kc, apriori-kc+, fpgrowth-kc+")
+	flag.TextVar(&alg, "alg", alg, "algorithm: apriori, apriori-kc, apriori-kc+, fpgrowth-kc+, eclat-kc+")
 	postFilter := qsrmine.NoPostFilter
 	flag.TextVar(&postFilter, "postfilter", postFilter, "post filter: none, closed, maximal")
 	flag.Parse()

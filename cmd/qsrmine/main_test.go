@@ -35,6 +35,38 @@ func TestParseDeps(t *testing.T) {
 	}
 }
 
+func TestEclatAlgorithmSelectable(t *testing.T) {
+	// -alg eclat resolves through the TextUnmarshaler to the Eclat
+	// engine and mines the same pattern set as apriori-kc+.
+	var alg qsrmine.Algorithm
+	for _, spelling := range []string{"eclat", "eclat-kc+"} {
+		if err := alg.UnmarshalText([]byte(spelling)); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", spelling, err)
+		}
+		if alg != qsrmine.EclatKCPlus {
+			t.Fatalf("%q parsed to %v", spelling, alg)
+		}
+	}
+	ec, err := qsrmine.RunTable(qsrmine.Table2Reconstruction(), qsrmine.Config{
+		Algorithm:  qsrmine.EclatKCPlus,
+		MinSupport: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := qsrmine.RunTable(qsrmine.Table2Reconstruction(), qsrmine.Config{
+		Algorithm:  qsrmine.AprioriKCPlus,
+		MinSupport: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ec.Result.Frequent) != len(ap.Result.Frequent) {
+		t.Errorf("eclat mined %d itemsets, apriori-kc+ %d",
+			len(ec.Result.Frequent), len(ap.Result.Frequent))
+	}
+}
+
 func TestWriteJSON(t *testing.T) {
 	out, err := qsrmine.RunTable(qsrmine.Table2Reconstruction(), qsrmine.Config{
 		Algorithm:     qsrmine.AprioriKCPlus,

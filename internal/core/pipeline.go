@@ -38,6 +38,9 @@ const (
 	// FP-growth engine (independent implementation, faster on dense
 	// low-support workloads).
 	AlgFPGrowthKCPlus
+	// AlgEclatKCPlus mines the Apriori-KC+ pattern set with the vertical
+	// Eclat engine (tidset intersection with dEclat diffset switching).
+	AlgEclatKCPlus
 )
 
 // String implements fmt.Stringer.
@@ -51,6 +54,8 @@ func (a Algorithm) String() string {
 		return "apriori-kc+"
 	case AlgFPGrowthKCPlus:
 		return "fpgrowth-kc+"
+	case AlgEclatKCPlus:
+		return "eclat-kc+"
 	}
 	return fmt.Sprintf("core.Algorithm(%d)", int(a))
 }
@@ -66,8 +71,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return AlgAprioriKCPlus, nil
 	case "fpgrowth-kc+", "fpgrowth":
 		return AlgFPGrowthKCPlus, nil
+	case "eclat-kc+", "eclat":
+		return AlgEclatKCPlus, nil
 	}
-	return 0, fmt.Errorf("core: unknown algorithm %q (want apriori, apriori-kc, apriori-kc+, or fpgrowth-kc+)", s)
+	return 0, fmt.Errorf("core: unknown algorithm %q (want apriori, apriori-kc, apriori-kc+, fpgrowth-kc+, or eclat-kc+)", s)
 }
 
 // Config parameterises a full pipeline run.
@@ -181,6 +188,9 @@ func RunTableContext(ctx context.Context, table *dataset.Table, cfg Config) (*Ou
 	case AlgFPGrowthKCPlus:
 		mcfg.FilterSameFeature = true
 		res, err = mining.FPGrowthContext(ctx, db, mcfg)
+	case AlgEclatKCPlus:
+		mcfg.FilterSameFeature = true
+		res, err = mining.EclatContext(ctx, db, mcfg)
 	default:
 		sp.End()
 		return nil, fmt.Errorf("core: unknown algorithm %d", cfg.Algorithm)

@@ -26,3 +26,27 @@ func (b bitset) count() int {
 	}
 	return n
 }
+
+// andInto sets dst = a & b. All lengths must match.
+func andInto(dst, a, b bitset) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// andNotInto sets dst = a &^ b. All lengths must match.
+func andNotInto(dst, a, b bitset) {
+	for i := range dst {
+		dst[i] = a[i] &^ b[i]
+	}
+}
+
+// andCount returns popcount(a & b) without materialising the
+// intersection — the final AND of a cached-prefix support count.
+func andCount(a, b bitset) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount64(a[i] & b[i])
+	}
+	return n
+}

@@ -306,12 +306,12 @@ func (db *DB) BuildTidsets() {
 	}
 }
 
-// Tidset returns the bitmap of rows containing the item. BuildTidsets must
-// have run.
+// Tidset returns the bitmap of rows containing the item, building the
+// vertical representation on first use. The first call is not safe for
+// concurrent use; call BuildTidsets up front before sharing the DB
+// across goroutines.
 func (db *DB) Tidset(id int32) []uint64 {
-	if db.tidsets == nil {
-		panic("itemset: Tidset called before BuildTidsets")
-	}
+	db.BuildTidsets()
 	return db.tidsets[id]
 }
 
@@ -327,19 +327,122 @@ func (db *DB) SupportHorizontal(s Itemset) int {
 }
 
 // SupportVertical counts rows containing every item of s by intersecting
-// the member tidsets. BuildTidsets must have run.
+// the member tidsets, building the vertical representation on first use.
+// The first call is not safe for concurrent use; call BuildTidsets up
+// front before sharing the DB across goroutines. For bulk counting over
+// a sorted candidate stream, NewVerticalCounter is both allocation-free
+// and prefix-cached.
 func (db *DB) SupportVertical(s Itemset) int {
 	if len(s) == 0 {
 		return len(db.Rows)
 	}
-	if db.tidsets == nil {
-		panic("itemset: SupportVertical called before BuildTidsets")
+	db.BuildTidsets()
+	if len(s) == 1 {
+		return db.tidsets[s[0]].count()
+	}
+	if len(s) == 2 {
+		return andCount(db.tidsets[s[0]], db.tidsets[s[1]])
 	}
 	acc := append(bitset{}, db.tidsets[s[0]]...)
-	for _, id := range s[1:] {
+	for _, id := range s[1 : len(s)-1] {
 		acc.and(db.tidsets[id])
 	}
-	return acc.count()
+	return andCount(acc, db.tidsets[s[len(s)-1]])
+}
+
+// VerticalCounter computes candidate supports against one DB with a
+// prefix-intersection cache and pooled buffers. Candidates produced by
+// the Apriori join arrive sorted, so consecutive k-candidates share a
+// (k-1)-prefix; the counter keeps one intersection bitmap per prefix
+// depth and re-intersects only the suffix that changed, finishing with a
+// popcount-only AND of the final item's tidset. Steady-state counting is
+// allocation-free. A counter is not safe for concurrent use; give each
+// goroutine its own (they share the DB's read-only tidsets).
+type VerticalCounter struct {
+	db    *DB
+	words int
+	// prefix is the candidate prefix the layers were built for.
+	prefix Itemset
+	// layers[d] is the intersection of the tidsets of prefix[0..d],
+	// materialised for d >= 1 (depth 0 reads the item tidset directly).
+	layers []bitset
+}
+
+// NewVerticalCounter builds the vertical representation if needed and
+// returns a fresh counter. The first counter for a DB is not safe to
+// construct concurrently with others; call BuildTidsets up front when
+// sharing the DB across goroutines.
+func (db *DB) NewVerticalCounter() *VerticalCounter {
+	db.BuildTidsets()
+	return &VerticalCounter{db: db, words: (len(db.Rows) + 63) / 64}
+}
+
+// Support counts the rows containing every item of s. Calling it with a
+// sorted candidate stream reuses the shared-prefix intersections across
+// calls; arbitrary orders stay correct, merely uncached.
+func (c *VerticalCounter) Support(s Itemset) int {
+	k := len(s)
+	tids := c.db.tidsets
+	switch k {
+	case 0:
+		return len(c.db.Rows)
+	case 1:
+		return tids[s[0]].count()
+	case 2:
+		return andCount(tids[s[0]], tids[s[1]])
+	}
+	// Longest prefix (up to k-1 items) still valid from the last call.
+	p := 0
+	for p < len(c.prefix) && p < k-1 && c.prefix[p] == s[p] {
+		p++
+	}
+	for len(c.layers) < k-1 {
+		c.layers = append(c.layers, make(bitset, c.words))
+	}
+	// layers[d] depends on s[0..d]: rebuild depths p..k-2 (depth 0 is
+	// the raw tidset, so rebuilding starts at 1 at the earliest).
+	start := p
+	if start < 1 {
+		start = 1
+	}
+	for d := start; d <= k-2; d++ {
+		if d == 1 {
+			andInto(c.layers[1], tids[s[0]], tids[s[1]])
+		} else {
+			andInto(c.layers[d], c.layers[d-1], tids[s[d]])
+		}
+	}
+	c.prefix = append(c.prefix[:0], s[:k-1]...)
+	return andCount(c.layers[k-2], tids[s[k-1]])
+}
+
+// ProjectRows returns the rows with every item id for which keep[id] is
+// false removed, preserving row indices (a fully pruned row becomes the
+// empty set, keeping tid alignment). All surviving items share one
+// backing array, so the projection costs one allocation plus the
+// headers. Rows shorter than the current pass's k can then be skipped by
+// horizontal counting — no k-candidate fits in them.
+func (db *DB) ProjectRows(keep []bool) []Itemset {
+	total := 0
+	for _, row := range db.Rows {
+		for _, id := range row {
+			if keep[id] {
+				total++
+			}
+		}
+	}
+	backing := make([]int32, 0, total)
+	out := make([]Itemset, len(db.Rows))
+	for i, row := range db.Rows {
+		start := len(backing)
+		for _, id := range row {
+			if keep[id] {
+				backing = append(backing, id)
+			}
+		}
+		out[i] = Itemset(backing[start:len(backing):len(backing)])
+	}
+	return out
 }
 
 // ItemCounts returns the per-item support counts in one pass, the

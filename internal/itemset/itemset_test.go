@@ -228,14 +228,85 @@ func TestSupportStrategiesAgree(t *testing.T) {
 	}
 }
 
-func TestVerticalPanicsWithoutTidsets(t *testing.T) {
+func TestVerticalAutoBuildsTidsets(t *testing.T) {
+	// SupportVertical (and Tidset) build the vertical representation on
+	// first use instead of panicking.
 	db := NewDB(testTable())
-	defer func() {
-		if recover() == nil {
-			t.Error("SupportVertical before BuildTidsets should panic")
+	s := NewItemset(0)
+	if got, want := db.SupportVertical(s), db.SupportHorizontal(s); got != want {
+		t.Errorf("SupportVertical without BuildTidsets = %d, want %d", got, want)
+	}
+	db2 := NewDB(testTable())
+	if got := bitset(db2.Tidset(0)).count(); got != db2.SupportHorizontal(s) {
+		t.Errorf("Tidset without BuildTidsets popcount = %d, want %d", got, db2.SupportHorizontal(s))
+	}
+}
+
+func TestVerticalCounterMatchesHorizontal(t *testing.T) {
+	// Property: the prefix-cached counter agrees with horizontal scans on
+	// random candidate streams, sorted (the cached case) or not.
+	db := NewDB(dataset.PortoAlegreTable())
+	vc := db.NewVerticalCounter()
+	n := int32(db.Dict.Len())
+	f := func(raw []int32) bool {
+		ids := make([]int32, 0, len(raw))
+		for _, v := range raw {
+			id := v % n
+			if id < 0 {
+				id += n
+			}
+			ids = append(ids, id)
 		}
-	}()
-	db.SupportVertical(NewItemset(0))
+		s := NewItemset(ids...)
+		return vc.Support(s) == db.SupportHorizontal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerticalCounterSortedStream(t *testing.T) {
+	// Consecutive shared-prefix candidates (the aprioriGen output shape)
+	// exercise the layer cache explicitly.
+	db := NewDB(dataset.PortoAlegreTable())
+	vc := db.NewVerticalCounter()
+	n := int32(db.Dict.Len())
+	var stream []Itemset
+	for a := int32(0); a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				stream = append(stream, Itemset{a, b, c})
+			}
+		}
+	}
+	for _, s := range stream {
+		if got, want := vc.Support(s), db.SupportHorizontal(s); got != want {
+			t.Fatalf("Support(%v) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestProjectRows(t *testing.T) {
+	db := NewDB(dataset.PortoAlegreTable())
+	keep := make([]bool, db.Dict.Len())
+	for id := 0; id < db.Dict.Len(); id += 2 {
+		keep[id] = true
+	}
+	rows := db.ProjectRows(keep)
+	if len(rows) != len(db.Rows) {
+		t.Fatalf("ProjectRows changed row count: %d != %d", len(rows), len(db.Rows))
+	}
+	for i, row := range rows {
+		want := make(Itemset, 0, len(db.Rows[i]))
+		for _, id := range db.Rows[i] {
+			if keep[id] {
+				want = append(want, id)
+			}
+		}
+		if !row.Equal(want) {
+			t.Errorf("row %d = %v, want %v", i, row, want)
+		}
+	}
 }
 
 func TestBitset(t *testing.T) {

@@ -1,0 +1,242 @@
+package mining
+
+import (
+	"context"
+	"math/bits"
+	"sort"
+	"time"
+
+	"repro/internal/itemset"
+	"repro/internal/obs"
+)
+
+// Eclat mines the same frequent itemsets as Apriori with the vertical
+// Eclat algorithm (Zaki): a depth-first walk over prefix equivalence
+// classes, where each class member carries the tid-bitmap of its
+// itemset and extensions are set intersections. Dense prefixes switch
+// to the dEclat diffset representation — a child stores the rows its
+// parent has and it lacks, and supports come from subtraction — which
+// keeps the bitmaps sparse exactly where tidsets would be near-full.
+//
+// The KC+ same-feature filter and the Φ dependency filter are applied
+// when a class is built: a forbidden pair kills the extension before its
+// support is ever computed, which preserves the anti-monotone semantics
+// of the k=2 candidate pruning in the Apriori formulation.
+func Eclat(db *itemset.DB, cfg Config) (*Result, error) {
+	return EclatContext(context.Background(), db, cfg)
+}
+
+// EclatContext is Eclat honouring ctx cancellation/deadlines (checked
+// per equivalence class, so deep low-support recursions stop promptly)
+// and emitting per-size pass events to any obs.Trace attached to ctx.
+// Eclat generates no explicit candidate sets, so the synthesized pass
+// stats report Candidates equal to Frequent; prunes from the Φ and
+// same-feature filters are totalled on the k=2 stat. The Counting and
+// Parallelism knobs of Config do not apply — the walk is vertical and
+// sequential by construction.
+func EclatContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, error) {
+	minCount, err := resolveMinSupport(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	tr := obs.FromContext(ctx)
+	db.BuildTidsets()
+	res := &Result{
+		MinSupportCount: minCount,
+		NumTransactions: db.NumTransactions(),
+		supportByKey:    make(map[string]int),
+	}
+	m := &eclatMiner{
+		ctx:         ctx,
+		dict:        db.Dict,
+		minCount:    minCount,
+		maxLen:      cfg.MaxLen,
+		deps:        buildDepSet(db.Dict, cfg.Dependencies),
+		sameFeature: cfg.FilterSameFeature,
+		res:         res,
+		words:       (db.NumTransactions() + 63) / 64,
+	}
+
+	// Pass 1: the root equivalence class is every frequent item with its
+	// tidset, in ascending ID order so prefixes extend in sorted order.
+	counts := db.ItemCounts()
+	var root []eclatNode
+	for id, c := range counts {
+		if c >= minCount {
+			root = append(root, eclatNode{id: int32(id), set: db.Tidset(int32(id)), support: c})
+		}
+	}
+	for _, n := range root {
+		ext := itemset.Itemset{n.id}
+		res.supportByKey[ext.Key()] = n.support
+		res.Frequent = append(res.Frequent, FrequentItemset{Items: ext, Support: n.support})
+	}
+	if cfg.MaxLen != 1 {
+		// The root sets are the DB's shared tidsets, never pooled.
+		if err := m.mine(nil, root, false, db.NumTransactions(), false); err != nil {
+			return nil, err
+		}
+	}
+
+	// Normalise output order to match the Apriori result: by size, then
+	// lexicographic item IDs.
+	sort.Slice(res.Frequent, func(i, j int) bool {
+		a, b := res.Frequent[i].Items, res.Frequent[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return compareItems(a, b) < 0
+	})
+	res.Stats = enumerationStats(res, time.Since(start))
+	for _, s := range res.Stats {
+		tr.Pass(s.Event())
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// eclatNode is one member of a prefix equivalence class: the itemset
+// prefix∪{id}, represented by a tidset or (when the class is in diffset
+// mode) the diffset against the prefix's tidset.
+type eclatNode struct {
+	id      int32
+	set     []uint64
+	support int
+}
+
+// eclatMiner carries the walk's immutable configuration and a free list
+// of bitmap buffers, so steady-state class construction reuses released
+// buffers instead of allocating.
+type eclatMiner struct {
+	ctx         context.Context
+	dict        *itemset.Dictionary
+	minCount    int
+	maxLen      int
+	deps        map[[2]int32]struct{}
+	sameFeature bool
+	res         *Result
+	words       int
+	pool        [][]uint64
+}
+
+func (m *eclatMiner) get() []uint64 {
+	if n := len(m.pool); n > 0 {
+		b := m.pool[n-1]
+		m.pool = m.pool[:n-1]
+		return b
+	}
+	return make([]uint64, m.words)
+}
+
+func (m *eclatMiner) put(b []uint64) { m.pool = append(m.pool, b) }
+
+// mine walks one equivalence class: for each member a it emits the
+// extensions a×(later siblings) that survive the pair filters and the
+// support threshold, then recurses into the surviving class. classDiff
+// says whether the class sets are diffsets; prefixSupport is the support
+// of the class's common prefix (the diffset subtraction base). pooled
+// marks class sets owned by the miner's free list (everything but the
+// root's shared tidsets), released as each member's subtree completes.
+func (m *eclatMiner) mine(prefix itemset.Itemset, class []eclatNode, classDiff bool, prefixSupport int, pooled bool) error {
+	if err := m.ctx.Err(); err != nil {
+		return err
+	}
+	for i := range class {
+		a := class[i]
+		ext := make(itemset.Itemset, len(prefix)+1)
+		copy(ext, prefix)
+		ext[len(prefix)] = a.id
+		if m.maxLen != 0 && len(ext) >= m.maxLen {
+			if pooled {
+				m.put(a.set)
+			}
+			continue
+		}
+		// Dense-prefix switch: once a prefix retains most of its parent's
+		// rows, children store what they lose rather than what they keep.
+		childDiff := classDiff || 2*a.support > prefixSupport
+		var children []eclatNode
+		for j := i + 1; j < len(class); j++ {
+			b := class[j]
+			if v := violates(ext, b.id, m.dict, m.deps, m.sameFeature); v != violationNone {
+				// Each unordered pair is first seen at the root (size-2
+				// extension); deeper re-checks of other pairs never
+				// re-count it.
+				if len(ext) == 1 {
+					switch v {
+					case violationDep:
+						m.res.PrunedDeps++
+					case violationSameFeature:
+						m.res.PrunedSameFeature++
+					}
+				}
+				continue
+			}
+			buf := m.get()
+			var support int
+			switch {
+			case !classDiff && !childDiff:
+				// t(Pab) = t(Pa) ∩ t(Pb)
+				intersectInto(buf, a.set, b.set)
+				support = popcount(buf)
+			case !classDiff && childDiff:
+				// d(Pab) = t(Pa) − t(Pb); σ(Pab) = σ(Pa) − |d(Pab)|
+				subtractInto(buf, a.set, b.set)
+				support = a.support - popcount(buf)
+			default:
+				// d(Pab) = d(Pb) − d(Pa); σ(Pab) = σ(Pa) − |d(Pab)|
+				subtractInto(buf, b.set, a.set)
+				support = a.support - popcount(buf)
+			}
+			if support < m.minCount {
+				m.put(buf)
+				continue
+			}
+			children = append(children, eclatNode{id: b.id, set: buf, support: support})
+		}
+		for _, c := range children {
+			child := make(itemset.Itemset, len(ext)+1)
+			copy(child, ext)
+			child[len(ext)] = c.id
+			m.res.supportByKey[child.Key()] = c.support
+			m.res.Frequent = append(m.res.Frequent, FrequentItemset{Items: child, Support: c.support})
+		}
+		if len(children) > 0 {
+			if err := m.mine(ext, children, childDiff, a.support, true); err != nil {
+				return err
+			}
+		}
+		// Later siblings only combine among themselves; a's bitmap is dead.
+		if pooled {
+			m.put(a.set)
+		}
+	}
+	return nil
+}
+
+// intersectInto sets dst = a & b.
+func intersectInto(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// subtractInto sets dst = a &^ b.
+func subtractInto(dst, a, b []uint64) {
+	for i := range dst {
+		dst[i] = a[i] &^ b[i]
+	}
+}
+
+// popcount returns the number of set bits.
+func popcount(b []uint64) int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

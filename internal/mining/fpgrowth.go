@@ -141,7 +141,7 @@ func FPGrowthContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, 
 		}
 		return false
 	})
-	res.Stats = fpStats(res, time.Since(pass1))
+	res.Stats = enumerationStats(res, time.Since(pass1))
 	for _, s := range res.Stats {
 		tr.Pass(s.Event())
 	}
@@ -149,10 +149,11 @@ func FPGrowthContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, 
 	return res, nil
 }
 
-// fpStats synthesizes per-size pass statistics from a sorted FP-growth
-// result, attributing the whole enumeration's wall time to pass 1 (the
-// engine has no per-pass phases) and the branch-prune totals to k=2.
-func fpStats(res *Result, elapsed time.Duration) []PassStat {
+// enumerationStats synthesizes per-size pass statistics from a sorted
+// result of a pattern-enumeration engine (FP-growth, Eclat), attributing
+// the whole enumeration's wall time to pass 1 (the engines have no
+// per-pass phases) and the branch-prune totals to k=2.
+func enumerationStats(res *Result, elapsed time.Duration) []PassStat {
 	bySize := res.CountBySize()
 	maxLen := res.MaxLen()
 	stats := make([]PassStat, 0, maxLen)

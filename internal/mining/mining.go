@@ -17,7 +17,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -118,8 +117,16 @@ type Result struct {
 }
 
 // Support returns the absolute support count of a frequent itemset from
-// the result, and whether the set is frequent.
+// the result, and whether the set is frequent. The lookup index is built
+// lazily on first use (mining itself never needs it), so the first call
+// is not safe for concurrent use.
 func (r *Result) Support(s itemset.Itemset) (int, bool) {
+	if r.supportByKey == nil {
+		r.supportByKey = make(map[string]int, len(r.Frequent))
+		for _, f := range r.Frequent {
+			r.supportByKey[f.Items.Key()] = f.Support
+		}
+	}
 	c, ok := r.supportByKey[s.Key()]
 	return c, ok
 }
@@ -223,24 +230,36 @@ func MineContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, erro
 	res := &Result{
 		MinSupportCount: minCount,
 		NumTransactions: db.NumTransactions(),
-		supportByKey:    make(map[string]int),
 	}
 	depSet := buildDepSet(db.Dict, cfg.Dependencies)
 
 	// Pass 1: large 1-predicate sets.
 	pass1 := time.Now()
 	counts := db.ItemCounts()
+	// Ascending-ID iteration makes the level lexicographically sorted by
+	// construction — the order aprioriGen's block join expects.
 	var level []FrequentItemset
 	for id, c := range counts {
 		if c >= minCount {
 			level = append(level, FrequentItemset{Items: itemset.Itemset{int32(id)}, Support: c})
 		}
 	}
-	sortLevel(level)
 	res.addLevel(level)
 	stat1 := PassStat{K: 1, Candidates: db.Dict.Len(), Frequent: len(level), Duration: time.Since(pass1)}
 	res.Stats = append(res.Stats, stat1)
 	tr.Pass(stat1.Event())
+
+	// DB projection for horizontal counting: drop infrequent items from
+	// the rows once, so every later pass scans shorter rows and skips
+	// those that cannot hold a k-candidate.
+	var projRows []itemset.Itemset
+	if cfg.Counting == HorizontalCounting {
+		keep := make([]bool, db.Dict.Len())
+		for id, c := range counts {
+			keep[id] = c >= minCount
+		}
+		projRows = db.ProjectRows(keep)
+	}
 
 	for k := 2; len(level) > 0 && (cfg.MaxLen == 0 || k <= cfg.MaxLen); k++ {
 		// Long low-support runs honour cancellation between passes.
@@ -265,7 +284,7 @@ func MineContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, erro
 		case VerticalCounting:
 			supports = countVertical(ctx, db, candidates, cfg.Parallelism)
 		case HorizontalCounting:
-			supports = countHorizontal(ctx, db, candidates)
+			supports = countHorizontal(ctx, projRows, candidates, k)
 		default:
 			return nil, fmt.Errorf("mining: unknown counting strategy %d", cfg.Counting)
 		}
@@ -274,13 +293,15 @@ func MineContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, erro
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// aprioriGen emits candidates in lexicographic order and the
+		// filters preserve it, so the next level is sorted by
+		// construction.
 		next := make([]FrequentItemset, 0, len(candidates))
 		for i, c := range candidates {
 			if supports[i] >= minCount {
 				next = append(next, FrequentItemset{Items: c, Support: supports[i]})
 			}
 		}
-		sortLevel(next)
 		stat.Frequent = len(next)
 		stat.Duration = time.Since(passStart)
 		res.Stats = append(res.Stats, stat)
@@ -362,39 +383,116 @@ func filterPairs(d *itemset.Dictionary, candidates []itemset.Itemset, deps map[[
 
 // aprioriGen produces C_k from L_{k-1}: the join of prefix-sharing pairs
 // followed by the subset prune (every (k-1)-subset must be frequent).
+// The level is sorted lexicographically, so equal-(k-2)-prefix itemsets
+// form contiguous blocks and the join runs block-locally — O(Σ block²)
+// pairs instead of O(L²). The subset prune hashes the level's itemsets
+// to integers (no Key() strings, no subset copies); a hash collision can
+// only admit an extra candidate whose support count then rejects it, so
+// results are unaffected. Candidates come out in lexicographic order,
+// carved from a chunked arena (one allocation per ~thousand candidates).
 func aprioriGen(level []FrequentItemset) []itemset.Itemset {
-	prev := make(map[string]struct{}, len(level))
-	for _, f := range level {
-		prev[f.Items.Key()] = struct{}{}
+	if len(level) == 0 {
+		return nil
+	}
+	n := len(level[0].Items) // k-1
+	var prev map[uint64]struct{}
+	if n >= 2 { // the k=2 join needs no subset prune
+		prev = make(map[uint64]struct{}, len(level))
+		for _, f := range level {
+			prev[hashItems(f.Items, -1)] = struct{}{}
+		}
 	}
 	var out []itemset.Itemset
-	for i := 0; i < len(level); i++ {
-		for j := i + 1; j < len(level); j++ {
-			joined, ok := level[i].Items.JoinPrefix(level[j].Items)
-			if !ok {
-				// level is sorted lexicographically, so once the prefix
-				// stops matching no later j can match either.
-				break
-			}
-			if allSubsetsFrequent(joined, prev) {
-				out = append(out, joined)
+	var arena []int32
+	cand := make(itemset.Itemset, n+1) // join scratch, copied only on survival
+	for bs := 0; bs < len(level); {
+		// The block is the run sharing the first k-2 items.
+		be := bs + 1
+		for be < len(level) && equalPrefix(level[bs].Items, level[be].Items, n-1) {
+			be++
+		}
+		for i := bs; i < be; i++ {
+			copy(cand, level[i].Items)
+			for j := i + 1; j < be; j++ {
+				cand[n] = level[j].Items[n-1]
+				if allSubsetsInLevel(cand, prev) {
+					if len(arena)+n+1 > cap(arena) {
+						arena = make([]int32, 0, 1024*(n+1))
+					}
+					s := len(arena)
+					arena = append(arena, cand...)
+					out = append(out, itemset.Itemset(arena[s:len(arena):len(arena)]))
+				}
 			}
 		}
+		bs = be
 	}
 	return out
 }
 
-// allSubsetsFrequent implements the Apriori prune step.
-func allSubsetsFrequent(c itemset.Itemset, prev map[string]struct{}) bool {
-	if len(c) <= 2 {
-		return true // both 1-subsets are frequent by construction
-	}
-	for i := range c {
-		if _, ok := prev[c.Without(i).Key()]; !ok {
+// equalPrefix reports whether the first p items of a and b match.
+func equalPrefix(a, b itemset.Itemset, p int) bool {
+	for i := 0; i < p; i++ {
+		if a[i] != b[i] {
 			return false
 		}
 	}
 	return true
+}
+
+// hashItems is FNV-1a over the items, skipping the drop index (-1 keeps
+// all items) — the (k-1)-subset hash without building the subset.
+func hashItems(s itemset.Itemset, drop int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i, v := range s {
+		if i == drop {
+			continue
+		}
+		h ^= uint64(uint32(v))
+		h *= prime64
+	}
+	return h
+}
+
+// allSubsetsInLevel implements the Apriori prune step for a candidate of
+// size k: every (k-1)-subset must appear in the previous level. The two
+// subsets dropping one of the candidate's last two items are its join
+// parents — frequent by construction — so only the first k-2 drop
+// positions are probed.
+func allSubsetsInLevel(c itemset.Itemset, prev map[uint64]struct{}) bool {
+	if len(c) <= 2 {
+		return true
+	}
+	for drop := 0; drop < len(c)-2; drop++ {
+		if _, ok := prev[hashItems(c, drop)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// compareItems orders itemsets lexicographically by IDs, shorter first
+// on equal prefixes — the sortLevel order.
+func compareItems(a, b itemset.Itemset) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
 }
 
 // cancelCheckStride bounds how many hot-loop iterations run between
@@ -402,10 +500,12 @@ func allSubsetsFrequent(c itemset.Itemset, prev map[string]struct{}) bool {
 // cancelled pass stops promptly.
 const cancelCheckStride = 256
 
-// countVertical computes candidate supports by tidset intersection,
-// fanning large candidate sets out over a worker pool (candidates are
-// independent). A cancelled ctx makes the counters bail out early; the
-// caller must check ctx before using the (then partial) supports.
+// countVertical computes candidate supports with a prefix-cached
+// vertical counter, fanning large candidate sets out over a worker pool
+// (candidates are independent, and each worker's contiguous chunk of the
+// sorted stream keeps its own counter's prefix cache warm). A cancelled
+// ctx makes the counters bail out early; the caller must check ctx
+// before using the (then partial) supports.
 func countVertical(ctx context.Context, db *itemset.DB, candidates []itemset.Itemset, parallelism int) []int {
 	supports := make([]int, len(candidates))
 	workers := parallelism
@@ -414,11 +514,12 @@ func countVertical(ctx context.Context, db *itemset.DB, candidates []itemset.Ite
 	}
 	// Below a few hundred candidates the goroutine overhead dominates.
 	if workers <= 1 || len(candidates) < 256 {
+		vc := db.NewVerticalCounter()
 		for i, c := range candidates {
 			if i%cancelCheckStride == 0 && ctx.Err() != nil {
 				return supports
 			}
-			supports[i] = db.SupportVertical(c)
+			supports[i] = vc.Support(c)
 		}
 		return supports
 	}
@@ -436,11 +537,12 @@ func countVertical(ctx context.Context, db *itemset.DB, candidates []itemset.Ite
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			vc := db.NewVerticalCounter()
 			for i := lo; i < hi; i++ {
 				if (i-lo)%cancelCheckStride == 0 && ctx.Err() != nil {
 					return
 				}
-				supports[i] = db.SupportVertical(candidates[i])
+				supports[i] = vc.Support(candidates[i])
 			}
 		}(lo, hi)
 	}
@@ -449,14 +551,18 @@ func countVertical(ctx context.Context, db *itemset.DB, candidates []itemset.Ite
 }
 
 // countHorizontal computes candidate supports with one scan over the
-// rows, testing each candidate per row — the subset() loop of Listing 1.
-// Cancellation is checked per row; the caller must check ctx before
-// using the (then partial) supports.
-func countHorizontal(ctx context.Context, db *itemset.DB, candidates []itemset.Itemset) []int {
+// (projected) rows, testing each candidate per row — the subset() loop
+// of Listing 1. Rows shorter than k cannot contain a k-candidate and are
+// skipped. Cancellation is checked per row; the caller must check ctx
+// before using the (then partial) supports.
+func countHorizontal(ctx context.Context, rows []itemset.Itemset, candidates []itemset.Itemset, k int) []int {
 	supports := make([]int, len(candidates))
-	for ri, row := range db.Rows {
+	for ri, row := range rows {
 		if ri%cancelCheckStride == 0 && ctx.Err() != nil {
 			return supports
+		}
+		if len(row) < k {
+			continue
 		}
 		for i, c := range candidates {
 			if row.ContainsAll(c) {
@@ -467,25 +573,8 @@ func countHorizontal(ctx context.Context, db *itemset.DB, candidates []itemset.I
 	return supports
 }
 
-// sortLevel orders itemsets lexicographically by IDs — the order
-// aprioriGen's prefix join expects.
-func sortLevel(level []FrequentItemset) {
-	sort.Slice(level, func(i, j int) bool {
-		a, b := level[i].Items, level[j].Items
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return len(a) < len(b)
-	})
-}
-
-// addLevel appends a pass's frequent sets to the result and indexes their
-// supports.
+// addLevel appends a pass's frequent sets to the result; the support
+// index is built lazily by Result.Support.
 func (r *Result) addLevel(level []FrequentItemset) {
-	for _, f := range level {
-		r.supportByKey[f.Items.Key()] = f.Support
-	}
 	r.Frequent = append(r.Frequent, level...)
 }

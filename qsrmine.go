@@ -243,6 +243,9 @@ const (
 	// FPGrowthKCPlus mines the Apriori-KC+ pattern set with the
 	// FP-growth engine.
 	FPGrowthKCPlus = core.AlgFPGrowthKCPlus
+	// EclatKCPlus mines the Apriori-KC+ pattern set with the vertical
+	// Eclat engine (tidsets with dEclat diffset switching).
+	EclatKCPlus = core.AlgEclatKCPlus
 )
 
 // Post filters (the paper's future-work redundancy elimination).
