@@ -322,6 +322,24 @@ func BenchmarkFPGrowthVsApriori(b *testing.B) {
 	})
 }
 
+// BenchmarkEclatParallelScaling measures the sharded equivalence-class
+// walk across worker counts on a large generated dataset — the scaling
+// series appended to BENCH_mining.json. Each top-level subtree is
+// independent, so on multi-core hardware wall time drops with
+// Parallelism; the frequent-sets metric pins output equivalence across
+// all settings.
+func BenchmarkEclatParallelScaling(b *testing.B) {
+	table, err := datagen.PaperDataset1(datagen.DefaultSeed, 8000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			mineBench(b, table, mining.Config{MinSupport: 0.03, Parallelism: par}, mining.Eclat)
+		})
+	}
+}
+
 // supportBenchCandidates builds the sorted, prefix-sharing k=3 candidate
 // stream (the aprioriGen output shape) over dataset 1's frequent items.
 func supportBenchCandidates(b *testing.B, db *itemset.DB) []itemset.Itemset {

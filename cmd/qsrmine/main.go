@@ -8,6 +8,7 @@
 //	qsrmine -data city.json -minsup 0.1 -alg apriori -rules -minconf 0.7
 //	qsrmine -table transactions.csv -minsup 0.05
 //	qsrmine -data city.json -deps "contains_street:contains_illuminationPoint,..."
+//	qsrmine -data city.json -alg eclat -parallelism 8   # shard the mining fan-out
 //	qsrmine -sample -trace                  # per-stage wall time + per-pass counts
 //	qsrmine -sample -json-metrics           # machine-readable stage/pass metrics
 //	qsrmine -data city.json -timeout 30s    # abort runaway low-support runs
@@ -50,6 +51,7 @@ func run() error {
 		trace     = flag.Bool("trace", false, "stream per-stage wall time and per-pass counts to stderr")
 		jsonMet   = flag.Bool("json-metrics", false, "print stage/pass/counter metrics as JSON after the results")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		parallel  = flag.Int("parallelism", 0, "mining worker fan-out for all engines (apriori counting pool, eclat walk): 1 = sequential, 0 = GOMAXPROCS")
 	)
 	// Algorithm and PostFilter implement encoding.TextMarshaler /
 	// TextUnmarshaler, so the flag package parses and prints them
@@ -58,6 +60,8 @@ func run() error {
 	flag.TextVar(&alg, "alg", alg, "algorithm: apriori, apriori-kc, apriori-kc+, fpgrowth-kc+, eclat-kc+")
 	postFilter := qsrmine.NoPostFilter
 	flag.TextVar(&postFilter, "postfilter", postFilter, "post filter: none, closed, maximal")
+	counting := qsrmine.VerticalCounting
+	flag.TextVar(&counting, "counting", counting, "support counting strategy: vertical or horizontal (apriori engines only)")
 	flag.Parse()
 
 	deps, err := parseDeps(*depsFlag)
@@ -71,6 +75,8 @@ func run() error {
 		GenerateRules: *rules,
 		MinConfidence: *minconf,
 		PostFilter:    postFilter,
+		Counting:      counting,
+		Parallelism:   *parallel,
 	}
 	switch {
 	case *closed && *maximal:

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 
 	qsrmine "repro"
@@ -64,6 +65,82 @@ func TestEclatAlgorithmSelectable(t *testing.T) {
 	if len(ec.Result.Frequent) != len(ap.Result.Frequent) {
 		t.Errorf("eclat mined %d itemsets, apriori-kc+ %d",
 			len(ec.Result.Frequent), len(ap.Result.Frequent))
+	}
+}
+
+func TestCountingStrategyFlag(t *testing.T) {
+	// -counting parses via encoding.TextUnmarshaler, like -alg.
+	var c qsrmine.CountingStrategy
+	for spelling, want := range map[string]qsrmine.CountingStrategy{
+		"vertical":   qsrmine.VerticalCounting,
+		"horizontal": qsrmine.HorizontalCounting,
+	} {
+		if err := c.UnmarshalText([]byte(spelling)); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", spelling, err)
+		}
+		if c != want {
+			t.Errorf("%q parsed to %v", spelling, c)
+		}
+	}
+	if err := c.UnmarshalText([]byte("diagonal")); err == nil {
+		t.Error("bogus counting strategy must fail to parse")
+	}
+}
+
+func TestEclatRejectsHorizontalCountingConfig(t *testing.T) {
+	// An explicitly requested horizontal strategy cannot be honoured by
+	// the vertical eclat engine: the run must fail with a clear config
+	// error instead of silently dropping the setting.
+	_, err := qsrmine.RunTable(qsrmine.Table2Reconstruction(), qsrmine.Config{
+		Algorithm:  qsrmine.EclatKCPlus,
+		MinSupport: 0.5,
+		Counting:   qsrmine.HorizontalCounting,
+	})
+	if err == nil {
+		t.Fatal("eclat with horizontal counting must fail")
+	}
+	if !strings.Contains(err.Error(), "horizontal") {
+		t.Errorf("error %q does not name the strategy", err)
+	}
+	// The apriori engines still honour it.
+	out, err := qsrmine.RunTable(qsrmine.Table2Reconstruction(), qsrmine.Config{
+		Algorithm:  qsrmine.AprioriKCPlus,
+		MinSupport: 0.5,
+		Counting:   qsrmine.HorizontalCounting,
+	})
+	if err != nil {
+		t.Fatalf("apriori with horizontal counting: %v", err)
+	}
+	if len(out.Result.Frequent) == 0 {
+		t.Error("horizontal apriori mined nothing")
+	}
+}
+
+func TestParallelismPlumbsToEclat(t *testing.T) {
+	// -parallelism reaches the eclat walk through core.Config and the
+	// results match the sequential run exactly.
+	run := func(par int) *qsrmine.Outcome {
+		t.Helper()
+		out, err := qsrmine.RunTable(qsrmine.Table2Reconstruction(), qsrmine.Config{
+			Algorithm:   qsrmine.EclatKCPlus,
+			MinSupport:  0.34,
+			Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq, par := run(1), run(8)
+	if len(seq.Result.Frequent) != len(par.Result.Frequent) {
+		t.Fatalf("sequential %d vs parallel %d itemsets",
+			len(seq.Result.Frequent), len(par.Result.Frequent))
+	}
+	for i := range seq.Result.Frequent {
+		a, b := seq.Result.Frequent[i], par.Result.Frequent[i]
+		if !a.Items.Equal(b.Items) || a.Support != b.Support {
+			t.Fatalf("itemset %d differs: %v/%d vs %v/%d", i, a.Items, a.Support, b.Items, b.Support)
+		}
 	}
 }
 

@@ -88,6 +88,14 @@ type Config struct {
 	MinSupport float64
 	// Dependencies is the background knowledge Φ (used by KC and KC+).
 	Dependencies []mining.Pair
+	// Counting selects the support-counting strategy of the Apriori
+	// engines (the Eclat engine is vertical by construction and rejects
+	// an explicit HorizontalCounting; FP-growth ignores it).
+	Counting mining.CountingStrategy
+	// Parallelism bounds the mining fan-out (vertical counting workers,
+	// Eclat walk workers): 1 or negative is sequential, 0 uses
+	// GOMAXPROCS. Results are identical at any setting.
+	Parallelism int
 	// MinConfidence gates rule generation; rules are skipped when 0 and
 	// GenerateRules is false.
 	MinConfidence float64
@@ -174,6 +182,8 @@ func RunTableContext(ctx context.Context, table *dataset.Table, cfg Config) (*Ou
 	mcfg := mining.Config{
 		MinSupport:   cfg.MinSupport,
 		Dependencies: cfg.Dependencies,
+		Counting:     cfg.Counting,
+		Parallelism:  cfg.Parallelism,
 	}
 	var res *mining.Result
 	var err error

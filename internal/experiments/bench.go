@@ -89,6 +89,36 @@ func MiningBench() ([]BenchResult, error) {
 			out = append(out, benchOne(nameFor("figure6-7", alg.name, minsup), data2, cfg, alg.fn))
 		}
 	}
+	scaling, err := eclatScalingBench()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, scaling...), nil
+}
+
+// eclatScalingBench measures the sharded Eclat walk across worker
+// counts on a large generated dataset — the Parallelism scaling series
+// of BENCH_mining.json. The frequentSets anchor is identical at every
+// worker count (the walk is deterministic); wall-clock gains track the
+// host's core count, so single-core CI records flat rows.
+func eclatScalingBench() ([]BenchResult, error) {
+	const scalingRows = 8000
+	table, err := datagen.PaperDataset1(datagen.DefaultSeed, scalingRows)
+	if err != nil {
+		return nil, err
+	}
+	deps := dataset1Deps()
+	var out []BenchResult
+	for _, par := range []int{1, 2, 4, 8} {
+		cfg := mining.Config{
+			MinSupport:        0.03,
+			Dependencies:      deps,
+			FilterSameFeature: true,
+			Parallelism:       par,
+		}
+		name := fmt.Sprintf("scaling-rows=%d/eclat-kc+/par=%d", scalingRows, par)
+		out = append(out, benchOne(name, table, cfg, mining.Eclat))
+	}
 	return out, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/qsr"
@@ -268,6 +269,9 @@ type DB struct {
 	Dict *Dictionary
 	// Rows hold each transaction's sorted item IDs.
 	Rows []Itemset
+	// tidsetsOnce guards the one-time construction of tidsets, so the
+	// lazy vertical build is safe when goroutines race to the first use.
+	tidsetsOnce sync.Once
 	// tidsets[i] is the bitmap of rows containing item i; nil until
 	// BuildTidsets runs.
 	tidsets []bitset
@@ -289,27 +293,29 @@ func NewDB(t *dataset.Table) *DB {
 // NumTransactions reports the number of rows.
 func (db *DB) NumTransactions() int { return len(db.Rows) }
 
-// BuildTidsets materialises the vertical representation. Idempotent.
+// BuildTidsets materialises the vertical representation. Idempotent and
+// safe for concurrent use: racing goroutines block until the single
+// build completes, then share the read-only bitmaps.
 func (db *DB) BuildTidsets() {
-	if db.tidsets != nil {
-		return
-	}
-	db.tidsets = make([]bitset, db.Dict.Len())
+	db.tidsetsOnce.Do(db.buildTidsets)
+}
+
+func (db *DB) buildTidsets() {
+	tidsets := make([]bitset, db.Dict.Len())
 	words := (len(db.Rows) + 63) / 64
-	for i := range db.tidsets {
-		db.tidsets[i] = make(bitset, words)
+	for i := range tidsets {
+		tidsets[i] = make(bitset, words)
 	}
 	for row, items := range db.Rows {
 		for _, id := range items {
-			db.tidsets[id].set(row)
+			tidsets[id].set(row)
 		}
 	}
+	db.tidsets = tidsets
 }
 
 // Tidset returns the bitmap of rows containing the item, building the
-// vertical representation on first use. The first call is not safe for
-// concurrent use; call BuildTidsets up front before sharing the DB
-// across goroutines.
+// vertical representation on first use (safe for concurrent use).
 func (db *DB) Tidset(id int32) []uint64 {
 	db.BuildTidsets()
 	return db.tidsets[id]
@@ -327,11 +333,9 @@ func (db *DB) SupportHorizontal(s Itemset) int {
 }
 
 // SupportVertical counts rows containing every item of s by intersecting
-// the member tidsets, building the vertical representation on first use.
-// The first call is not safe for concurrent use; call BuildTidsets up
-// front before sharing the DB across goroutines. For bulk counting over
-// a sorted candidate stream, NewVerticalCounter is both allocation-free
-// and prefix-cached.
+// the member tidsets, building the vertical representation on first use
+// (safe for concurrent use). For bulk counting over a sorted candidate
+// stream, NewVerticalCounter is both allocation-free and prefix-cached.
 func (db *DB) SupportVertical(s Itemset) int {
 	if len(s) == 0 {
 		return len(db.Rows)
@@ -369,9 +373,8 @@ type VerticalCounter struct {
 }
 
 // NewVerticalCounter builds the vertical representation if needed and
-// returns a fresh counter. The first counter for a DB is not safe to
-// construct concurrently with others; call BuildTidsets up front when
-// sharing the DB across goroutines.
+// returns a fresh counter; constructing counters concurrently on a
+// fresh DB is safe (the first build is synchronised).
 func (db *DB) NewVerticalCounter() *VerticalCounter {
 	db.BuildTidsets()
 	return &VerticalCounter{db: db, words: (len(db.Rows) + 63) / 64}

@@ -1,6 +1,7 @@
 package itemset
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -239,6 +240,50 @@ func TestVerticalAutoBuildsTidsets(t *testing.T) {
 	db2 := NewDB(testTable())
 	if got := bitset(db2.Tidset(0)).count(); got != db2.SupportHorizontal(s) {
 		t.Errorf("Tidset without BuildTidsets popcount = %d, want %d", got, db2.SupportHorizontal(s))
+	}
+}
+
+func TestConcurrentCountersOnFreshDB(t *testing.T) {
+	// The lazy tidset build is synchronised: goroutines racing to
+	// construct VerticalCounters (or grab Tidsets) on a fresh DB all see
+	// the one completed build. Run under -race in CI, this is the
+	// regression test for the unguarded db.tidsets publication.
+	db := NewDB(dataset.PortoAlegreTable())
+	s := NewItemset(0, 1)
+	want := db.SupportHorizontal(s)
+	const goroutines = 8
+	got := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vc := db.NewVerticalCounter()
+			got[g] = vc.Support(s)
+		}(g)
+	}
+	wg.Wait()
+	for g, sup := range got {
+		if sup != want {
+			t.Errorf("goroutine %d: support = %d, want %d", g, sup, want)
+		}
+	}
+	// Racing Tidset readers on another fresh DB agree too.
+	db2 := NewDB(dataset.PortoAlegreTable())
+	counts := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			counts[g] = bitset(db2.Tidset(0)).count()
+		}(g)
+	}
+	wg.Wait()
+	want0 := db2.SupportHorizontal(NewItemset(0))
+	for g, c := range counts {
+		if c != want0 {
+			t.Errorf("goroutine %d: tidset popcount = %d, want %d", g, c, want0)
+		}
 	}
 }
 

@@ -2,8 +2,12 @@ package mining
 
 import (
 	"context"
+	"fmt"
 	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/itemset"
@@ -31,10 +35,20 @@ func Eclat(db *itemset.DB, cfg Config) (*Result, error) {
 // and emitting per-size pass events to any obs.Trace attached to ctx.
 // Eclat generates no explicit candidate sets, so the synthesized pass
 // stats report Candidates equal to Frequent; prunes from the Φ and
-// same-feature filters are totalled on the k=2 stat. The Counting and
-// Parallelism knobs of Config do not apply — the walk is vertical and
-// sequential by construction.
+// same-feature filters are totalled on the k=2 stat.
+//
+// Config.Parallelism shards the root equivalence class across a worker
+// pool: each top-level subtree is independent (later siblings only ever
+// combine among themselves against read-only bitmaps), so workers pull
+// subtrees from a shared queue, mine them with private bitmap pools and
+// result buffers, and the buffers are merged and sorted afterwards —
+// the output is identical to the sequential walk at any setting.
+// Config.Counting does not apply: the walk is vertical by construction,
+// and an explicitly requested HorizontalCounting is a config error.
 func EclatContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, error) {
+	if cfg.Counting == HorizontalCounting {
+		return nil, fmt.Errorf("mining: the eclat engine counts vertically; Counting=horizontal is not supported (leave Counting unset or use an apriori algorithm)")
+	}
 	minCount, err := resolveMinSupport(db, cfg)
 	if err != nil {
 		return nil, err
@@ -48,17 +62,6 @@ func EclatContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, err
 	res := &Result{
 		MinSupportCount: minCount,
 		NumTransactions: db.NumTransactions(),
-		supportByKey:    make(map[string]int),
-	}
-	m := &eclatMiner{
-		ctx:         ctx,
-		dict:        db.Dict,
-		minCount:    minCount,
-		maxLen:      cfg.MaxLen,
-		deps:        buildDepSet(db.Dict, cfg.Dependencies),
-		sameFeature: cfg.FilterSameFeature,
-		res:         res,
-		words:       (db.NumTransactions() + 63) / 64,
 	}
 
 	// Pass 1: the root equivalence class is every frequent item with its
@@ -71,19 +74,18 @@ func EclatContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, err
 		}
 	}
 	for _, n := range root {
-		ext := itemset.Itemset{n.id}
-		res.supportByKey[ext.Key()] = n.support
-		res.Frequent = append(res.Frequent, FrequentItemset{Items: ext, Support: n.support})
+		res.Frequent = append(res.Frequent, FrequentItemset{Items: itemset.Itemset{n.id}, Support: n.support})
 	}
 	if cfg.MaxLen != 1 {
-		// The root sets are the DB's shared tidsets, never pooled.
-		if err := m.mine(nil, root, false, db.NumTransactions(), false); err != nil {
+		if err := eclatWalk(ctx, tr, db, cfg, minCount, root, res); err != nil {
 			return nil, err
 		}
 	}
 
 	// Normalise output order to match the Apriori result: by size, then
-	// lexicographic item IDs.
+	// lexicographic item IDs. This is also what makes the parallel walk
+	// deterministic — every (itemset, support) is produced exactly once,
+	// so the sorted merge is byte-identical to the sequential output.
 	sort.Slice(res.Frequent, func(i, j int) bool {
 		a, b := res.Frequent[i].Items, res.Frequent[j].Items
 		if len(a) != len(b) {
@@ -99,6 +101,99 @@ func EclatContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, err
 	return res, nil
 }
 
+// eclatWorkers resolves the Parallelism knob exactly like countVertical:
+// 0 means GOMAXPROCS, negative or 1 means sequential, and the pool is
+// never wider than the number of root subtrees to hand out.
+func eclatWorkers(parallelism, roots int) int {
+	w := parallelism
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > roots {
+		w = roots
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// eclatWalk runs the depth-first walk below the root class, sequentially
+// or sharded over a worker pool, and merges the outcome into res.
+func eclatWalk(ctx context.Context, tr *obs.Trace, db *itemset.DB, cfg Config, minCount int, root []eclatNode, res *Result) error {
+	words := (db.NumTransactions() + 63) / 64
+	deps := buildDepSet(db.Dict, cfg.Dependencies)
+	newMiner := func() *eclatMiner {
+		return &eclatMiner{
+			ctx:         ctx,
+			dict:        db.Dict,
+			minCount:    minCount,
+			maxLen:      cfg.MaxLen,
+			deps:        deps,
+			sameFeature: cfg.FilterSameFeature,
+			words:       words,
+		}
+	}
+	numTx := db.NumTransactions()
+	workers := eclatWorkers(cfg.Parallelism, len(root))
+	if workers <= 1 {
+		m := newMiner()
+		for i := range root {
+			// The root sets are the DB's shared tidsets, never pooled.
+			if err := m.mineMember(nil, root, i, false, numTx, false); err != nil {
+				return err
+			}
+		}
+		m.merge(res)
+		return nil
+	}
+
+	// Shared-queue fan-out: the unit of work is one root member's whole
+	// subtree. next is the queue head; workers steal the next unclaimed
+	// subtree as they drain, so a skewed subtree (low item IDs see the
+	// most siblings) never idles the rest of the pool. Root bitmaps are
+	// the DB's shared read-only tidsets; everything deeper is built from
+	// the worker's private pool.
+	var next atomic.Int64
+	miners := make([]*eclatMiner, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		m := newMiner()
+		miners[w] = m
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(root) {
+					return
+				}
+				if err := m.mineMember(nil, root, i, false, numTx, false); err != nil {
+					errs[w] = err
+					return
+				}
+				m.roots++
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	tr.Add("eclat.workers", int64(workers))
+	for w, m := range miners {
+		m.merge(res)
+		// Per-worker fan-out balance: how many subtrees each worker
+		// claimed and how many itemsets they yielded.
+		tr.Add(obs.WorkerCounter("eclat", w, "roots"), int64(m.roots))
+		tr.Add(obs.WorkerCounter("eclat", w, "itemsets"), int64(len(m.frequent)))
+	}
+	return nil
+}
+
 // eclatNode is one member of a prefix equivalence class: the itemset
 // prefix∪{id}, represented by a tidset or (when the class is in diffset
 // mode) the diffset against the prefix's tidset.
@@ -108,9 +203,11 @@ type eclatNode struct {
 	support int
 }
 
-// eclatMiner carries the walk's immutable configuration and a free list
-// of bitmap buffers, so steady-state class construction reuses released
-// buffers instead of allocating.
+// eclatMiner carries one walker's immutable configuration, a free list
+// of bitmap buffers (so steady-state class construction reuses released
+// buffers instead of allocating), and its private output buffers. Each
+// worker of the parallel walk owns one miner; they share only the
+// read-only dictionary, dependency set, and root tidsets.
 type eclatMiner struct {
 	ctx         context.Context
 	dict        *itemset.Dictionary
@@ -118,9 +215,23 @@ type eclatMiner struct {
 	maxLen      int
 	deps        map[[2]int32]struct{}
 	sameFeature bool
-	res         *Result
 	words       int
 	pool        [][]uint64
+
+	// Private output, merged into the shared Result after the walk.
+	frequent   []FrequentItemset
+	prunedDeps int
+	prunedSame int
+	// roots counts top-level subtrees claimed from the shared queue.
+	roots int
+}
+
+// merge folds the miner's private output into the shared result; called
+// after the walk (or worker pool) has fully stopped.
+func (m *eclatMiner) merge(res *Result) {
+	res.Frequent = append(res.Frequent, m.frequent...)
+	res.PrunedDeps += m.prunedDeps
+	res.PrunedSameFeature += m.prunedSame
 }
 
 func (m *eclatMiner) get() []uint64 {
@@ -142,78 +253,88 @@ func (m *eclatMiner) put(b []uint64) { m.pool = append(m.pool, b) }
 // marks class sets owned by the miner's free list (everything but the
 // root's shared tidsets), released as each member's subtree completes.
 func (m *eclatMiner) mine(prefix itemset.Itemset, class []eclatNode, classDiff bool, prefixSupport int, pooled bool) error {
+	for i := range class {
+		if err := m.mineMember(prefix, class, i, classDiff, prefixSupport, pooled); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mineMember walks the subtree rooted at class[i] — the unit the
+// parallel walk shards, since member i only ever combines with its later
+// siblings and reads their bitmaps. It releases class[i]'s bitmap (when
+// pooled) once the subtree completes.
+func (m *eclatMiner) mineMember(prefix itemset.Itemset, class []eclatNode, i int, classDiff bool, prefixSupport int, pooled bool) error {
 	if err := m.ctx.Err(); err != nil {
 		return err
 	}
-	for i := range class {
-		a := class[i]
-		ext := make(itemset.Itemset, len(prefix)+1)
-		copy(ext, prefix)
-		ext[len(prefix)] = a.id
-		if m.maxLen != 0 && len(ext) >= m.maxLen {
-			if pooled {
-				m.put(a.set)
-			}
-			continue
-		}
-		// Dense-prefix switch: once a prefix retains most of its parent's
-		// rows, children store what they lose rather than what they keep.
-		childDiff := classDiff || 2*a.support > prefixSupport
-		var children []eclatNode
-		for j := i + 1; j < len(class); j++ {
-			b := class[j]
-			if v := violates(ext, b.id, m.dict, m.deps, m.sameFeature); v != violationNone {
-				// Each unordered pair is first seen at the root (size-2
-				// extension); deeper re-checks of other pairs never
-				// re-count it.
-				if len(ext) == 1 {
-					switch v {
-					case violationDep:
-						m.res.PrunedDeps++
-					case violationSameFeature:
-						m.res.PrunedSameFeature++
-					}
-				}
-				continue
-			}
-			buf := m.get()
-			var support int
-			switch {
-			case !classDiff && !childDiff:
-				// t(Pab) = t(Pa) ∩ t(Pb)
-				intersectInto(buf, a.set, b.set)
-				support = popcount(buf)
-			case !classDiff && childDiff:
-				// d(Pab) = t(Pa) − t(Pb); σ(Pab) = σ(Pa) − |d(Pab)|
-				subtractInto(buf, a.set, b.set)
-				support = a.support - popcount(buf)
-			default:
-				// d(Pab) = d(Pb) − d(Pa); σ(Pab) = σ(Pa) − |d(Pab)|
-				subtractInto(buf, b.set, a.set)
-				support = a.support - popcount(buf)
-			}
-			if support < m.minCount {
-				m.put(buf)
-				continue
-			}
-			children = append(children, eclatNode{id: b.id, set: buf, support: support})
-		}
-		for _, c := range children {
-			child := make(itemset.Itemset, len(ext)+1)
-			copy(child, ext)
-			child[len(ext)] = c.id
-			m.res.supportByKey[child.Key()] = c.support
-			m.res.Frequent = append(m.res.Frequent, FrequentItemset{Items: child, Support: c.support})
-		}
-		if len(children) > 0 {
-			if err := m.mine(ext, children, childDiff, a.support, true); err != nil {
-				return err
-			}
-		}
-		// Later siblings only combine among themselves; a's bitmap is dead.
+	a := class[i]
+	ext := make(itemset.Itemset, len(prefix)+1)
+	copy(ext, prefix)
+	ext[len(prefix)] = a.id
+	if m.maxLen != 0 && len(ext) >= m.maxLen {
 		if pooled {
 			m.put(a.set)
 		}
+		return nil
+	}
+	// Dense-prefix switch: once a prefix retains most of its parent's
+	// rows, children store what they lose rather than what they keep.
+	childDiff := classDiff || 2*a.support > prefixSupport
+	var children []eclatNode
+	for j := i + 1; j < len(class); j++ {
+		b := class[j]
+		if v := violates(ext, b.id, m.dict, m.deps, m.sameFeature); v != violationNone {
+			// Each unordered pair is first seen at the root (size-2
+			// extension); deeper re-checks of other pairs never
+			// re-count it.
+			if len(ext) == 1 {
+				switch v {
+				case violationDep:
+					m.prunedDeps++
+				case violationSameFeature:
+					m.prunedSame++
+				}
+			}
+			continue
+		}
+		buf := m.get()
+		var support int
+		switch {
+		case !classDiff && !childDiff:
+			// t(Pab) = t(Pa) ∩ t(Pb)
+			intersectInto(buf, a.set, b.set)
+			support = popcount(buf)
+		case !classDiff && childDiff:
+			// d(Pab) = t(Pa) − t(Pb); σ(Pab) = σ(Pa) − |d(Pab)|
+			subtractInto(buf, a.set, b.set)
+			support = a.support - popcount(buf)
+		default:
+			// d(Pab) = d(Pb) − d(Pa); σ(Pab) = σ(Pa) − |d(Pab)|
+			subtractInto(buf, b.set, a.set)
+			support = a.support - popcount(buf)
+		}
+		if support < m.minCount {
+			m.put(buf)
+			continue
+		}
+		children = append(children, eclatNode{id: b.id, set: buf, support: support})
+	}
+	for _, c := range children {
+		child := make(itemset.Itemset, len(ext)+1)
+		copy(child, ext)
+		child[len(ext)] = c.id
+		m.frequent = append(m.frequent, FrequentItemset{Items: child, Support: c.support})
+	}
+	if len(children) > 0 {
+		if err := m.mine(ext, children, childDiff, a.support, true); err != nil {
+			return err
+		}
+	}
+	// Later siblings only combine among themselves; a's bitmap is dead.
+	if pooled {
+		m.put(a.set)
 	}
 	return nil
 }

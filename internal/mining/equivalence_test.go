@@ -13,9 +13,11 @@ import (
 // TestEnginesEquivalentOnGeneratedScenes is the cross-engine property
 // test: on seeded datagen workloads of several sizes and minimum
 // supports, Apriori, Apriori-KC+, FP-growth, and Eclat produce identical
-// frequent-itemset sets and supports, at sequential and GOMAXPROCS
-// counting parallelism alike. Run under -race in CI, this also proves
-// the parallel vertical counters share the DB safely.
+// frequent-itemset sets and supports, at sequential, GOMAXPROCS, and
+// forced-multi-worker parallelism alike (Parallelism drives both the
+// Apriori counting pool and the sharded Eclat walk). Run under -race in
+// CI at GOMAXPROCS 1, 2, and 8, this also proves the workers share the
+// DB's read-only bitmaps safely.
 func TestEnginesEquivalentOnGeneratedScenes(t *testing.T) {
 	deps := make([]Pair, 0, len(datagen.Dataset1Dependencies))
 	for _, d := range datagen.Dataset1Dependencies {
@@ -48,7 +50,7 @@ func TestEnginesEquivalentOnGeneratedScenes(t *testing.T) {
 
 	for name, table := range tables {
 		for _, minsup := range []float64{0.05, 0.12, 0.3} {
-			for _, par := range []int{1, 0} {
+			for _, par := range []int{1, 0, 4} {
 				t.Run(fmt.Sprintf("%s/minsup=%g/par=%d", name, minsup, par), func(t *testing.T) {
 					db := itemset.NewDB(table)
 					plain := Config{MinSupport: minsup, Parallelism: par}

@@ -16,6 +16,7 @@ package mining
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -40,6 +41,40 @@ const (
 	HorizontalCounting
 )
 
+// String implements fmt.Stringer.
+func (c CountingStrategy) String() string {
+	switch c {
+	case VerticalCounting:
+		return "vertical"
+	case HorizontalCounting:
+		return "horizontal"
+	}
+	return fmt.Sprintf("mining.CountingStrategy(%d)", int(c))
+}
+
+// MarshalText implements encoding.TextMarshaler, so the strategy drops
+// into flag.TextVar, JSON, or any config decoder.
+func (c CountingStrategy) MarshalText() ([]byte, error) {
+	switch c {
+	case VerticalCounting, HorizontalCounting:
+		return []byte(c.String()), nil
+	}
+	return nil, fmt.Errorf("mining: unknown counting strategy %d", int(c))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (c *CountingStrategy) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "vertical":
+		*c = VerticalCounting
+	case "horizontal":
+		*c = HorizontalCounting
+	default:
+		return fmt.Errorf("mining: unknown counting strategy %q (want vertical or horizontal)", text)
+	}
+	return nil
+}
+
 // Config parameterises a mining run.
 type Config struct {
 	// MinSupport is the relative minimum support in (0, 1]. Ignored when
@@ -59,9 +94,10 @@ type Config struct {
 	Counting CountingStrategy
 	// MaxLen bounds the itemset size mined; 0 means unbounded.
 	MaxLen int
-	// Parallelism bounds concurrent support counting with the vertical
-	// strategy: 1 (or negative) is sequential, 0 uses GOMAXPROCS.
-	// Results are identical at any setting.
+	// Parallelism bounds the mining fan-out: vertical support counting
+	// in the Apriori engines and the equivalence-class walk in Eclat
+	// both shard over this many workers. 1 (or negative) is sequential,
+	// 0 uses GOMAXPROCS. Results are identical at any setting.
 	Parallelism int
 }
 
@@ -313,6 +349,12 @@ func MineContext(ctx context.Context, db *itemset.DB, cfg Config) (*Result, erro
 	return res, nil
 }
 
+// minSupportEps is the relative tolerance of the MinSupport×N ceiling.
+// Float64 multiplication is accurate to ~1e-16 relative, so 1e-9 is
+// orders of magnitude wider than any rounding jitter while far smaller
+// than the 1/N quantum that separates genuine thresholds.
+const minSupportEps = 1e-9
+
 // resolveMinSupport converts the configured threshold to an absolute
 // count, validating the configuration.
 func resolveMinSupport(db *itemset.DB, cfg Config) (int, error) {
@@ -325,12 +367,14 @@ func resolveMinSupport(db *itemset.DB, cfg Config) (int, error) {
 	if cfg.MinSupport <= 0 || cfg.MinSupport > 1 {
 		return 0, fmt.Errorf("mining: MinSupport must be in (0, 1], got %v", cfg.MinSupport)
 	}
-	// Ceiling: a set is frequent when support/N >= MinSupport.
+	// Ceiling: a set is frequent when support/N >= MinSupport. The
+	// ceiling must be epsilon-tolerant: binary-float jitter in the
+	// product (0.1×30 = 3.0000000000000004) would otherwise inflate the
+	// threshold by one and silently drop itemsets the paper's
+	// support/N >= minsup definition counts as frequent.
 	n := float64(db.NumTransactions())
-	count := int(cfg.MinSupport * n)
-	if float64(count) < cfg.MinSupport*n {
-		count++
-	}
+	v := cfg.MinSupport * n
+	count := int(math.Ceil(v - v*minSupportEps))
 	if count < 1 {
 		count = 1
 	}

@@ -17,6 +17,7 @@ package obs
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -190,6 +191,15 @@ func (t *Trace) Add(name string, delta int64) {
 	t.mu.Lock()
 	t.counters[name] += delta
 	t.mu.Unlock()
+}
+
+// WorkerCounter formats the canonical name of a per-worker counter:
+// "<subsystem>.worker.<n>.<metric>". Parallel stages (the Eclat walk,
+// the vertical counting pool) emit their fan-out balance under this
+// convention so sinks and dashboards can group worker series without
+// guessing at ad-hoc names.
+func WorkerCounter(subsystem string, worker int, metric string) string {
+	return subsystem + ".worker." + strconv.Itoa(worker) + "." + metric
 }
 
 // Counter returns the current value of one counter.
