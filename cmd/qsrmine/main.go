@@ -17,6 +17,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,45 +25,68 @@ import (
 	"strings"
 
 	qsrmine "repro"
+	"repro/internal/buildinfo"
 	"repro/internal/mining"
 )
 
+// errUsage marks command-line parse failures; the FlagSet has already
+// printed the message and usage to stderr, so main only sets the
+// conventional exit code 2.
+var errUsage = errors.New("bad command line")
+
 func main() {
-	if err := run(); err != nil {
+	// Errors (including bad flag combinations) go to stderr and exit
+	// non-zero; stdout carries only mining results.
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) || errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "qsrmine:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("qsrmine", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dataPath  = flag.String("data", "", "dataset JSON file (WKT geometries)")
-		tablePath = flag.String("table", "", "transaction table CSV file (refID,item,item,...)")
-		sample    = flag.Bool("sample", false, "use the built-in Porto Alegre sample scene")
-		minsup    = flag.Float64("minsup", 0.5, "relative minimum support in (0, 1]")
-		depsFlag  = flag.String("deps", "", "dependency pairs Φ: a:b,c:d,... (item names)")
-		rules     = flag.Bool("rules", false, "generate association rules")
-		minconf   = flag.Float64("minconf", 0.7, "minimum rule confidence")
-		maxShow   = flag.Int("top", 30, "maximum itemsets/rules to print (0 = all)")
-		closed    = flag.Bool("closed", false, "keep only closed frequent itemsets")
-		maximal   = flag.Bool("maximal", false, "keep only maximal frequent itemsets")
-		format    = flag.String("format", "text", "output format: text or json")
-		profile   = flag.Bool("profile", false, "print the transaction-table profile before mining")
-		trace     = flag.Bool("trace", false, "stream per-stage wall time and per-pass counts to stderr")
-		jsonMet   = flag.Bool("json-metrics", false, "print stage/pass/counter metrics as JSON after the results")
-		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
-		parallel  = flag.Int("parallelism", 0, "mining worker fan-out for all engines (apriori counting pool, eclat walk): 1 = sequential, 0 = GOMAXPROCS")
+		dataPath  = fs.String("data", "", "dataset JSON file (WKT geometries)")
+		tablePath = fs.String("table", "", "transaction table CSV file (refID,item,item,...)")
+		sample    = fs.Bool("sample", false, "use the built-in Porto Alegre sample scene")
+		minsup    = fs.Float64("minsup", 0.5, "relative minimum support in (0, 1]")
+		depsFlag  = fs.String("deps", "", "dependency pairs Φ: a:b,c:d,... (item names)")
+		rules     = fs.Bool("rules", false, "generate association rules")
+		minconf   = fs.Float64("minconf", 0.7, "minimum rule confidence")
+		maxShow   = fs.Int("top", 30, "maximum itemsets/rules to print (0 = all)")
+		closed    = fs.Bool("closed", false, "keep only closed frequent itemsets")
+		maximal   = fs.Bool("maximal", false, "keep only maximal frequent itemsets")
+		format    = fs.String("format", "text", "output format: text or json")
+		profile   = fs.Bool("profile", false, "print the transaction-table profile before mining")
+		trace     = fs.Bool("trace", false, "stream per-stage wall time and per-pass counts to stderr")
+		jsonMet   = fs.Bool("json-metrics", false, "print stage/pass/counter metrics as JSON after the results")
+		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		parallel  = fs.Int("parallelism", 0, "mining worker fan-out for all engines (apriori counting pool, eclat walk): 1 = sequential, 0 = GOMAXPROCS")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	// Algorithm and PostFilter implement encoding.TextMarshaler /
 	// TextUnmarshaler, so the flag package parses and prints them
 	// directly.
 	alg := qsrmine.AprioriKCPlus
-	flag.TextVar(&alg, "alg", alg, "algorithm: apriori, apriori-kc, apriori-kc+, fpgrowth-kc+, eclat-kc+")
+	fs.TextVar(&alg, "alg", alg, "algorithm: apriori, apriori-kc, apriori-kc+, fpgrowth-kc+, eclat-kc+")
 	postFilter := qsrmine.NoPostFilter
-	flag.TextVar(&postFilter, "postfilter", postFilter, "post filter: none, closed, maximal")
+	fs.TextVar(&postFilter, "postfilter", postFilter, "post filter: none, closed, maximal")
 	counting := qsrmine.VerticalCounting
-	flag.TextVar(&counting, "counting", counting, "support counting strategy: vertical or horizontal (apriori engines only)")
-	flag.Parse()
+	fs.TextVar(&counting, "counting", counting, "support counting strategy: vertical or horizontal (apriori engines only)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if *version {
+		fmt.Fprintln(stdout, "qsrmine", buildinfo.String())
+		return nil
+	}
 
 	deps, err := parseDeps(*depsFlag)
 	if err != nil {
@@ -100,7 +124,7 @@ func run() error {
 	if *trace || *jsonMet {
 		var sinks []qsrmine.TraceSink
 		if *trace {
-			sinks = append(sinks, qsrmine.NewTextTraceSink(os.Stderr))
+			sinks = append(sinks, qsrmine.NewTextTraceSink(stderr))
 		}
 		if *jsonMet {
 			collector = qsrmine.NewTraceCollector()
@@ -133,33 +157,33 @@ func run() error {
 		return err
 	}
 	if *trace {
-		fmt.Fprint(os.Stderr, qsrmine.FormatTraceCounters(tr.Counters()))
+		fmt.Fprint(stderr, qsrmine.FormatTraceCounters(tr.Counters()))
 	}
 	if *profile && *format != "json" {
-		fmt.Println("-- table profile --")
-		fmt.Print(qsrmine.ProfileTable(out.Table).Format())
-		fmt.Println()
+		fmt.Fprintln(stdout, "-- table profile --")
+		fmt.Fprint(stdout, qsrmine.ProfileTable(out.Table).Format())
+		fmt.Fprintln(stdout)
 	}
 	if *format == "json" {
-		if err := writeJSON(os.Stdout, alg.String(), out, *rules); err != nil {
+		if err := writeJSON(stdout, alg.String(), out, *rules); err != nil {
 			return err
 		}
-		return writeMetrics(os.Stdout, collector, tr)
+		return writeMetrics(stdout, collector, tr)
 	}
 	if *format != "text" {
 		return fmt.Errorf("unknown format %q (want text or json)", *format)
 	}
 
 	res := out.Result
-	fmt.Printf("algorithm:            %s\n", alg)
-	fmt.Printf("transactions:         %d\n", res.NumTransactions)
-	fmt.Printf("minimum support:      %.1f%% (count %d)\n", *minsup*100, res.MinSupportCount)
-	fmt.Printf("frequent itemsets:    %d (size >= 2: %d, largest %d)\n",
+	fmt.Fprintf(stdout, "algorithm:            %s\n", alg)
+	fmt.Fprintf(stdout, "transactions:         %d\n", res.NumTransactions)
+	fmt.Fprintf(stdout, "minimum support:      %.1f%% (count %d)\n", *minsup*100, res.MinSupportCount)
+	fmt.Fprintf(stdout, "frequent itemsets:    %d (size >= 2: %d, largest %d)\n",
 		len(res.Frequent), res.NumFrequent(2), res.MaxLen())
-	fmt.Printf("pruned dependencies:  %d\n", res.PrunedDeps)
-	fmt.Printf("pruned same-feature:  %d\n", res.PrunedSameFeature)
-	fmt.Printf("mining time:          %v\n", res.Duration)
-	fmt.Println()
+	fmt.Fprintf(stdout, "pruned dependencies:  %d\n", res.PrunedDeps)
+	fmt.Fprintf(stdout, "pruned same-feature:  %d\n", res.PrunedSameFeature)
+	fmt.Fprintf(stdout, "mining time:          %v\n", res.Duration)
+	fmt.Fprintln(stdout)
 
 	shown := 0
 	for _, f := range res.Frequent {
@@ -167,25 +191,25 @@ func run() error {
 			continue
 		}
 		if *maxShow > 0 && shown >= *maxShow {
-			fmt.Printf("... (%d more)\n", res.NumFrequent(2)-shown)
+			fmt.Fprintf(stdout, "... (%d more)\n", res.NumFrequent(2)-shown)
 			break
 		}
-		fmt.Printf("  %-70s support %d\n", f.Items.Format(out.DB.Dict), f.Support)
+		fmt.Fprintf(stdout, "  %-70s support %d\n", f.Items.Format(out.DB.Dict), f.Support)
 		shown++
 	}
 
 	if *rules {
-		fmt.Printf("\nassociation rules (confidence >= %.0f%%): %d\n", *minconf*100, len(out.Rules))
+		fmt.Fprintf(stdout, "\nassociation rules (confidence >= %.0f%%): %d\n", *minconf*100, len(out.Rules))
 		for i, r := range out.Rules {
 			if *maxShow > 0 && i >= *maxShow {
-				fmt.Printf("... (%d more)\n", len(out.Rules)-i)
+				fmt.Fprintf(stdout, "... (%d more)\n", len(out.Rules)-i)
 				break
 			}
-			fmt.Printf("  %-70s conf %.2f lift %.2f sup %.2f\n",
+			fmt.Fprintf(stdout, "  %-70s conf %.2f lift %.2f sup %.2f\n",
 				r.Format(out.DB.Dict), r.Confidence, r.Lift, r.Support)
 		}
 	}
-	return writeMetrics(os.Stdout, collector, tr)
+	return writeMetrics(stdout, collector, tr)
 }
 
 // writeMetrics prints the collected stage/pass/counter metrics as one

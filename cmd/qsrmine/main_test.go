@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -181,5 +182,74 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if bytes.Contains(buf.Bytes(), []byte(`"rules"`)) {
 		t.Error("rules present despite withRules=false")
+	}
+}
+
+// TestRunBadFlagsErrorNotOnStdout pins the CLI contract: bad flag
+// combinations make run return an error (main then exits non-zero and
+// prints it to stderr) while stdout stays clean of error text.
+func TestRunBadFlagsErrorNotOnStdout(t *testing.T) {
+	cases := [][]string{
+		{"-sample", "-closed", "-maximal"}, // mutually exclusive post filters
+		{},                                 // no input selected
+		{"-sample", "-format", "sideways"}, // unknown output format
+		{"-sample", "-deps", "broken"},     // malformed dependency spec
+		{"-alg", "bogus", "-sample"},       // unknown algorithm (flag parse error)
+		{"-table", "/no/such/file.csv"},    // unreadable input
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		err := run(args, &stdout, &stderr)
+		if err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+			continue
+		}
+		if strings.Contains(stdout.String(), err.Error()) {
+			t.Errorf("run(%q) wrote its error to stdout: %q", args, stdout.String())
+		}
+	}
+	// Flag parse failures (as opposed to post-parse validation) carry
+	// errUsage so main exits 2, the usual usage-error code.
+	var pout, perr bytes.Buffer
+	if err := run([]string{"-alg", "bogus", "-sample"}, &pout, &perr); !errors.Is(err, errUsage) {
+		t.Errorf("flag parse failure %v is not errUsage", err)
+	}
+	// The unknown-format case must not have mined to stdout before
+	// failing either.
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-sample", "-format", "sideways"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown format must fail")
+	} else if !strings.Contains(err.Error(), "sideways") {
+		t.Errorf("error %q does not name the bad format", err)
+	}
+}
+
+// TestRunVersionFlag: -version prints the build stamp to stdout and
+// exits successfully without mining.
+func TestRunVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-version"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stdout.String(), "qsrmine ") {
+		t.Errorf("-version stdout = %q", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "frequent itemsets") {
+		t.Error("-version must not mine")
+	}
+}
+
+// TestRunSampleToBuffers smoke-tests the happy path through the
+// injectable writers: results on stdout, trace on stderr.
+func TestRunSampleToBuffers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-sample", "-minsup", "0.5", "-trace"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "frequent itemsets") {
+		t.Errorf("stdout missing results: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "[trace]") {
+		t.Errorf("stderr missing trace lines: %q", stderr.String())
 	}
 }

@@ -1,0 +1,135 @@
+// Command qsrmined is the long-running HTTP mining service: upload
+// datasets (WKT-JSON scenes or transaction CSVs), mine them
+// synchronously or as cancellable async jobs, and scrape live metrics.
+//
+// Usage:
+//
+//	qsrmined -addr :8080
+//	qsrmined -addr :8080 -workers 4 -queue 128 -default-timeout 30s
+//	qsrmined -dump-sample scene.json   # write the Porto Alegre sample scene and exit
+//	qsrmined -version
+//
+// A quick session against a running daemon:
+//
+//	qsrmined -dump-sample scene.json
+//	curl -s -X POST --data-binary @scene.json localhost:8080/datasets/scene
+//	curl -s -X POST -d '{"dataset":"<digest>","config":{"algorithm":"eclat-kc+","minSupport":0.3}}' localhost:8080/mine
+//
+// SIGINT/SIGTERM drain gracefully: new submissions get 503, in-flight
+// jobs finish (or are cancelled at the drain deadline), the listener
+// closes cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+// errUsage marks command-line parse failures; the FlagSet has already
+// printed the message and usage to stderr, so main only sets the
+// conventional exit code 2.
+var errUsage = errors.New("bad command line")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) || errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "qsrmined:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("qsrmined", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
+		queueCap     = fs.Int("queue", 64, "async job queue capacity")
+		storeEntries = fs.Int("store-max-entries", 64, "dataset store entry cap")
+		storeBytes   = fs.Int64("store-max-bytes", 256<<20, "dataset store byte cap")
+		cacheEntries = fs.Int("cache-max-entries", 256, "result cache entry cap")
+		maxUpload    = fs.Int64("max-upload", 32<<20, "maximum request body bytes")
+		defTimeout   = fs.Duration("default-timeout", 60*time.Second, "default per-request mining deadline")
+		drainWait    = fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain deadline")
+		dumpSample   = fs.String("dump-sample", "", "write the built-in Porto Alegre sample scene JSON to FILE (or - for stdout) and exit")
+		version      = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if *version {
+		fmt.Fprintln(stdout, "qsrmined", buildinfo.String())
+		return nil
+	}
+	if *dumpSample != "" {
+		return writeSample(*dumpSample, stdout)
+	}
+
+	srv := server.New(server.Options{
+		Workers:         *workers,
+		QueueCap:        *queueCap,
+		StoreMaxEntries: *storeEntries,
+		StoreMaxBytes:   *storeBytes,
+		CacheMaxEntries: *cacheEntries,
+		MaxUploadBytes:  *maxUpload,
+		DefaultTimeout:  *defTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(stderr, "qsrmined %s listening on %s\n", buildinfo.Version, *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // listener failed to start (port in use, ...)
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(stderr, "qsrmined: draining (deadline %v)\n", *drainWait)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Order: flip to draining first so new submissions see 503 while the
+	// listener is still up, then drain jobs, then close the listener
+	// (which waits for in-flight HTTP handlers).
+	jobsErr := srv.Shutdown(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("closing listener: %w", err)
+	}
+	if jobsErr != nil {
+		fmt.Fprintf(stderr, "qsrmined: drain deadline hit, remaining jobs cancelled (%v)\n", jobsErr)
+	}
+	fmt.Fprintln(stderr, "qsrmined: shut down cleanly")
+	return nil
+}
+
+// writeSample writes the built-in Porto Alegre scene as WKT-JSON, the
+// exact format POST /datasets/scene accepts.
+func writeSample(path string, stdout io.Writer) error {
+	scene := dataset.PortoAlegreScene()
+	if path == "-" {
+		return scene.WriteJSON(stdout)
+	}
+	return scene.SaveJSON(path)
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-version"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stdout.String(), "qsrmined ") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("stderr = %q, want empty", stderr.String())
+	}
+}
+
+func TestRunDumpSampleStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-dump-sample", "-"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	// The dumped document is exactly what POST /datasets/scene accepts.
+	ds, err := dataset.ReadJSON(&stdout)
+	if err != nil {
+		t.Fatalf("dump is not a readable scene: %v", err)
+	}
+	want := dataset.PortoAlegreScene()
+	if ds.Reference.Len() != want.Reference.Len() || len(ds.Relevant) != len(want.Relevant) {
+		t.Errorf("dumped scene shape %d/%d, want %d/%d",
+			ds.Reference.Len(), len(ds.Relevant), want.Reference.Len(), len(want.Relevant))
+	}
+}
+
+func TestRunDumpSampleFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scene.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-dump-sample", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.LoadJSON(path)
+	if err != nil {
+		t.Fatalf("dumped file unreadable: %v", err)
+	}
+	if ds.Reference.Len() == 0 {
+		t.Error("dumped scene is empty")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-no-such-flag"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		t.Fatal("bad flag reported as -help")
+	}
+	if !errors.Is(err, errUsage) {
+		t.Errorf("parse failure %v is not errUsage (main must exit 2)", err)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("flag errors leaked to stdout: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "no-such-flag") {
+		t.Errorf("stderr %q does not name the bad flag", stderr.String())
+	}
+}

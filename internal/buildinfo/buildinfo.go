@@ -1,0 +1,55 @@
+// Package buildinfo carries the shared version stamp of the qsrmine
+// binaries. The version is set at link time:
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=v1.2.3" ./cmd/...
+//
+// and defaults to "dev". String() additionally reports the VCS revision
+// recorded by the Go toolchain, so `qsrmine -version`, `qsrmined
+// -version`, and the server's /healthz all agree on what is running.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the semantic version stamp, overridable via -ldflags.
+var Version = "dev"
+
+// Revision returns the VCS revision baked in by the Go toolchain (with a
+// "+dirty" suffix for modified trees), or "" when built outside a
+// checkout.
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}
+
+// String renders the full one-line version banner.
+func String() string {
+	s := Version
+	if rev := Revision(); rev != "" {
+		s += " (" + rev + ")"
+	}
+	return fmt.Sprintf("%s %s %s/%s", s, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -198,3 +198,45 @@ func TestEventKindString(t *testing.T) {
 		}
 	}
 }
+
+// TestRingCollector pins the bounded retention the qsrmined daemon
+// relies on: only the most recent limit events survive, in order, with
+// the overflow counted, and Reset clears everything.
+func TestRingCollector(t *testing.T) {
+	c := NewRingCollector(3)
+	for k := 1; k <= 5; k++ {
+		c.Emit(Event{Kind: KindPass, Pass: PassEvent{K: k}})
+	}
+	passes := c.Passes()
+	if len(passes) != 3 {
+		t.Fatalf("retained %d events, want 3", len(passes))
+	}
+	for i, want := range []int{3, 4, 5} {
+		if passes[i].K != want {
+			t.Errorf("passes[%d].K = %d, want %d (ring must keep the newest in order)", i, passes[i].K, want)
+		}
+	}
+	if m := c.Metrics(nil); m.DroppedEvents != 2 {
+		t.Errorf("DroppedEvents = %d, want 2", m.DroppedEvents)
+	}
+	c.Reset()
+	if got := c.Events(); len(got) != 0 {
+		t.Errorf("Reset left %d events", len(got))
+	}
+	if m := c.Metrics(nil); m.DroppedEvents != 0 {
+		t.Errorf("Reset left DroppedEvents = %d", m.DroppedEvents)
+	}
+	// After a reset the ring refills from scratch.
+	c.Emit(Event{Kind: KindPass, Pass: PassEvent{K: 9}})
+	if passes := c.Passes(); len(passes) != 1 || passes[0].K != 9 {
+		t.Errorf("post-reset passes = %+v", passes)
+	}
+	// An unbounded collector never drops.
+	u := NewCollector()
+	for k := 0; k < 100; k++ {
+		u.Emit(Event{Kind: KindPass, Pass: PassEvent{K: k}})
+	}
+	if len(u.Events()) != 100 || u.Metrics(nil).DroppedEvents != 0 {
+		t.Error("unbounded collector must retain everything")
+	}
+}

@@ -23,29 +23,67 @@ type StageRecord struct {
 
 // Collector is an in-memory Sink retaining every event, with typed views
 // over the completed stages and mining passes. Safe for concurrent use.
+// A Collector built with NewRingCollector instead retains only the most
+// recent events, so a long-running process (the qsrmined daemon) can keep
+// one wired in permanently without unbounded growth.
 type Collector struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	limit   int // 0 = unbounded
+	start   int // ring read position when limit > 0
+	dropped uint64
 }
 
-// NewCollector returns an empty Collector.
+// NewCollector returns an empty, unbounded Collector.
 func NewCollector() *Collector { return &Collector{} }
+
+// NewRingCollector returns a Collector retaining only the limit most
+// recent events; older events are dropped (and counted — see Metrics).
+// A non-positive limit is treated as unbounded.
+func NewRingCollector(limit int) *Collector {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Collector{limit: limit}
+}
 
 // Emit implements Sink.
 func (c *Collector) Emit(e Event) {
 	c.mu.Lock()
-	c.events = append(c.events, e)
+	if c.limit > 0 && len(c.events) == c.limit {
+		c.events[c.start] = e
+		c.start = (c.start + 1) % c.limit
+		c.dropped++
+	} else {
+		c.events = append(c.events, e)
+	}
 	c.mu.Unlock()
 }
 
-// Events returns a snapshot copy of all collected events in emission
+// Reset drops every retained event (the dropped-event count included),
+// e.g. after a metrics scrape that consumed them.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.events = c.events[:0]
+	c.start = 0
+	c.dropped = 0
+	c.mu.Unlock()
+}
+
+// snapshot returns the retained events in emission order. Callers hold mu.
+func (c *Collector) snapshot() []Event {
+	out := make([]Event, 0, len(c.events))
+	out = append(out, c.events[c.start:]...)
+	out = append(out, c.events[:c.start]...)
+	return out
+}
+
+// Events returns a snapshot copy of the retained events in emission
 // order.
 func (c *Collector) Events() []Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]Event, len(c.events))
-	copy(out, c.events)
-	return out
+	return c.snapshot()
 }
 
 // Stages returns the completed stages in completion order.
@@ -53,7 +91,7 @@ func (c *Collector) Stages() []StageRecord {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []StageRecord
-	for _, e := range c.events {
+	for _, e := range c.snapshot() {
 		if e.Kind == KindStageEnd {
 			out = append(out, StageRecord{
 				Name:       e.Stage,
@@ -71,7 +109,7 @@ func (c *Collector) Passes() []PassEvent {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []PassEvent
-	for _, e := range c.events {
+	for _, e := range c.snapshot() {
 		if e.Kind == KindPass {
 			out = append(out, e.Pass)
 		}
@@ -79,18 +117,24 @@ func (c *Collector) Passes() []PassEvent {
 	return out
 }
 
-// Metrics is the machine-readable summary of one traced run: completed
-// stages, mining passes, and the trace's aggregate counters.
+// Metrics is the machine-readable summary of one traced run (or, for a
+// permanently wired collector, of the process so far): completed stages,
+// mining passes, and the trace's aggregate counters. DroppedEvents
+// counts events a ring collector has discarded since the last Reset.
 type Metrics struct {
-	Stages   []StageRecord    `json:"stages"`
-	Passes   []PassEvent      `json:"passes"`
-	Counters map[string]int64 `json:"counters,omitempty"`
+	Stages        []StageRecord    `json:"stages"`
+	Passes        []PassEvent      `json:"passes"`
+	Counters      map[string]int64 `json:"counters,omitempty"`
+	DroppedEvents uint64           `json:"droppedEvents,omitempty"`
 }
 
 // Metrics assembles the summary document. t may be nil (counters are
 // then omitted).
 func (c *Collector) Metrics(t *Trace) Metrics {
-	return Metrics{Stages: c.Stages(), Passes: c.Passes(), Counters: t.Counters()}
+	c.mu.Lock()
+	dropped := c.dropped
+	c.mu.Unlock()
+	return Metrics{Stages: c.Stages(), Passes: c.Passes(), Counters: t.Counters(), DroppedEvents: dropped}
 }
 
 // WriteJSON writes the Metrics summary as one indented JSON document.

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mining"
+)
+
+// CacheKey canonicalises a mining request to its result-cache key:
+// the dataset digest plus the deterministic JSON encoding of the config
+// with the dependency set Φ normalised (each unordered pair spelled
+// smaller-item-first, pairs sorted, duplicates dropped). Two requests
+// that cannot produce different results therefore share a key.
+func CacheKey(digest string, cfg core.Config) (string, error) {
+	if len(cfg.Dependencies) > 0 {
+		deps := make([]mining.Pair, len(cfg.Dependencies))
+		copy(deps, cfg.Dependencies)
+		for i, p := range deps {
+			if p.B < p.A {
+				deps[i] = mining.Pair{A: p.B, B: p.A}
+			}
+		}
+		sort.Slice(deps, func(i, j int) bool {
+			if deps[i].A != deps[j].A {
+				return deps[i].A < deps[j].A
+			}
+			return deps[i].B < deps[j].B
+		})
+		uniq := deps[:1]
+		for _, p := range deps[1:] {
+			if p != uniq[len(uniq)-1] {
+				uniq = append(uniq, p)
+			}
+		}
+		cfg.Dependencies = uniq
+	}
+	canonical, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("server: canonicalising config: %w", err)
+	}
+	return digest + "|" + string(canonical), nil
+}
+
+// ResultCache memoises mining responses by CacheKey with LRU eviction,
+// so repeated identical requests are served without re-mining. Cached
+// responses are immutable; readers receive shallow copies with the
+// Cached flag set. Safe for concurrent use.
+type ResultCache struct {
+	mu                      sync.Mutex
+	lru                     *lru[string, *MineResponse]
+	hits, misses, evictions int64
+}
+
+// NewResultCache returns a cache capped at maxEntries (0 = unlimited).
+func NewResultCache(maxEntries int) *ResultCache {
+	return &ResultCache{lru: newLRU[string, *MineResponse](maxEntries, 0)}
+}
+
+// Get returns a copy of the cached response for key, counting the hit
+// or miss.
+func (c *ResultCache) Get(key string) (*MineResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, ok := c.lru.get(key)
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	cp := *resp
+	cp.Cached = true
+	return &cp, true
+}
+
+// Put stores a response under key.
+func (c *ResultCache) Put(key string, resp *MineResponse) {
+	c.mu.Lock()
+	c.evictions += int64(c.lru.put(key, resp, 0))
+	c.mu.Unlock()
+}
+
+// CacheStats is the cache's /metrics snapshot.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the cache counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.lru.len(), Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}

@@ -1,0 +1,298 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+// routes wires the endpoint table.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /datasets/scene", s.handleUploadScene)
+	s.mux.HandleFunc("POST /datasets/table", s.handleUploadTable)
+	s.mux.HandleFunc("GET /datasets/{digest}", s.handleGetDataset)
+	s.mux.HandleFunc("POST /mine", s.handleMine)
+	s.mux.HandleFunc("POST /jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// rejectDraining writes the shutdown 503 and reports whether it did.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.Draining() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	return true
+}
+
+// readBody reads a size-capped request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// datasetInfo is the upload / metadata response.
+type datasetInfo struct {
+	Digest string      `json:"digest"`
+	Kind   DatasetKind `json:"kind"`
+	Rows   int         `json:"rows"`
+	Bytes  int64       `json:"bytes"`
+}
+
+func infoOf(sd *StoredDataset) datasetInfo {
+	return datasetInfo{Digest: sd.Digest, Kind: sd.Kind, Rows: sd.Rows, Bytes: sd.Bytes}
+}
+
+// handleUploadScene stores a WKT-JSON scene (see dataset.WriteJSON).
+func (s *Server) handleUploadScene(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	d, err := dataset.ReadJSON(bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := d.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.trace.Add("server.datasets.scene_uploads", 1)
+	writeJSON(w, http.StatusCreated, infoOf(s.store.PutScene(body, d)))
+}
+
+// handleUploadTable stores a transaction-table CSV (refID,item,...).
+func (s *Server) handleUploadTable(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	t, err := dataset.ReadTableCSV(bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if t.Len() == 0 {
+		writeError(w, http.StatusBadRequest, "table has no transactions")
+		return
+	}
+	s.trace.Add("server.datasets.table_uploads", 1)
+	writeJSON(w, http.StatusCreated, infoOf(s.store.PutTable(body, t)))
+}
+
+// handleGetDataset returns upload metadata for a stored digest.
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	sd, ok := s.store.Get(r.PathValue("digest"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("digest"))
+		return
+	}
+	writeJSON(w, http.StatusOK, infoOf(sd))
+}
+
+// decodeMineRequest parses and sanity-checks a mining request body.
+func (s *Server) decodeMineRequest(w http.ResponseWriter, r *http.Request) (MineRequest, bool) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return MineRequest{}, false
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req MineRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return MineRequest{}, false
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, "request needs a %q digest from a dataset upload", "dataset")
+		return MineRequest{}, false
+	}
+	if req.Config.MinSupport <= 0 || req.Config.MinSupport > 1 {
+		writeError(w, http.StatusBadRequest, "minSupport must be in (0, 1]")
+		return MineRequest{}, false
+	}
+	return req, true
+}
+
+// handleMine mines synchronously under the request deadline.
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	req, ok := s.decodeMineRequest(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req))
+	defer cancel()
+	resp, err := s.mine(ctx, req)
+	if err != nil {
+		s.writeMineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeMineError maps a mining failure to a status code.
+func (s *Server) writeMineError(w http.ResponseWriter, err error) {
+	var unknown errUnknownDataset
+	switch {
+	case errors.As(err, &unknown):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "mining exceeded the request deadline")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "mining was cancelled")
+	default:
+		// Remaining failures are configuration/data errors from the
+		// pipeline (bad minsup, counting/engine mismatch, ...).
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	}
+}
+
+// handleSubmitJob enqueues an async mining job.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	req, ok := s.decodeMineRequest(w, r)
+	if !ok {
+		return
+	}
+	if _, ok := s.store.Get(req.Dataset); !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q (upload it first)", req.Dataset)
+		return
+	}
+	j, err := s.jobs.Submit(req)
+	switch {
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.trace.Add("server.jobs.submitted", 1)
+	st := s.jobs.Status(j)
+	w.Header().Set("Location", "/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleGetJob returns a job's status (and result once done).
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.Status(j))
+}
+
+// handleCancelJob cancels a queued or running job.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	state, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.trace.Add("server.jobs.cancel_requests", 1)
+	writeJSON(w, http.StatusOK, map[string]any{"id": r.PathValue("id"), "state": state})
+}
+
+// healthz is the liveness document.
+type healthz struct {
+	Status       string `json:"status"`
+	Version      string `json:"version"`
+	UptimeMillis int64  `json:"uptimeMillis"`
+}
+
+// handleHealthz reports liveness and the build version. A draining
+// server answers "draining" with 503 so load balancers stop routing.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := healthz{
+		Status:       "ok",
+		Version:      buildinfo.String(),
+		UptimeMillis: time.Since(s.started).Milliseconds(),
+	}
+	status := http.StatusOK
+	if s.Draining() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// ServerMetrics is the /metrics document: the obs snapshot (stage
+// spans, mining passes, counters — including the eclat worker fan-out
+// counters) plus the service-level store/cache/job statistics.
+type ServerMetrics struct {
+	Obs          obs.Metrics `json:"obs"`
+	Store        StoreStats  `json:"store"`
+	Cache        CacheStats  `json:"cache"`
+	Jobs         JobStats    `json:"jobs"`
+	UptimeMillis int64       `json:"uptimeMillis"`
+}
+
+// Metrics snapshots the server state (also used by tests).
+func (s *Server) Metrics() ServerMetrics {
+	return ServerMetrics{
+		Obs:          s.collector.Metrics(s.trace),
+		Store:        s.store.Stats(),
+		Cache:        s.cache.Stats(),
+		Jobs:         s.jobs.Stats(),
+		UptimeMillis: time.Since(s.started).Milliseconds(),
+	}
+}
+
+// handleMetrics serves the metrics snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

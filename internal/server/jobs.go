@@ -1,0 +1,305 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle state of an async mining job.
+type JobState string
+
+// Job states. Queued and running jobs are live; the other states are
+// terminal.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Job manager submission errors; handlers map them to 503.
+var (
+	// ErrDraining rejects submissions during graceful shutdown.
+	ErrDraining = errors.New("server: draining, not accepting new jobs")
+	// ErrQueueFull rejects submissions when the bounded queue is at
+	// capacity.
+	ErrQueueFull = errors.New("server: job queue full")
+)
+
+// Job is one async mining run. Fields are guarded by the manager's
+// lock; Status returns consistent snapshots.
+type Job struct {
+	id       string
+	req      MineRequest
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   *MineResponse
+	err      error
+	cancel   context.CancelFunc // non-nil while running
+	userStop bool               // DELETE /jobs/{id} was called
+	done     chan struct{}      // closed on reaching a terminal state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobStatus is the wire form of a job (GET /jobs/{id}).
+type JobStatus struct {
+	ID         string        `json:"id"`
+	State      JobState      `json:"state"`
+	Dataset    string        `json:"dataset"`
+	CreatedAt  time.Time     `json:"createdAt"`
+	StartedAt  *time.Time    `json:"startedAt,omitempty"`
+	FinishedAt *time.Time    `json:"finishedAt,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	Result     *MineResponse `json:"result,omitempty"`
+}
+
+// JobManager runs submitted mining jobs on a bounded worker pool fed by
+// a bounded submission queue. Jobs are cancellable while queued or
+// running; Shutdown drains in-flight work under a caller deadline.
+type JobManager struct {
+	run     func(context.Context, MineRequest) (*MineResponse, error)
+	baseCtx context.Context
+	queue   chan *Job
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	nextID  uint64
+	closed  bool
+	counts  map[JobState]int64 // terminal-state tallies + submissions
+	submits int64
+}
+
+// NewJobManager starts workers goroutines pulling from a queue of
+// capacity queueCap. run executes one job under its context; baseCtx
+// parents every job context, so cancelling it stops all jobs.
+func NewJobManager(baseCtx context.Context, workers, queueCap int, run func(context.Context, MineRequest) (*MineResponse, error)) *JobManager {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	m := &JobManager{
+		run:     run,
+		baseCtx: baseCtx,
+		queue:   make(chan *Job, queueCap),
+		jobs:    make(map[string]*Job),
+		counts:  make(map[JobState]int64),
+	}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Submit enqueues a job and returns it (state queued). It fails with
+// ErrDraining after Shutdown began and ErrQueueFull when the bounded
+// queue is at capacity.
+func (m *JobManager) Submit(req MineRequest) (*Job, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.nextID++
+	j := &Job{
+		id:      fmt.Sprintf("j%08d", m.nextID),
+		req:     req,
+		state:   JobQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.submits++
+	m.mu.Unlock()
+	return j, nil
+}
+
+// Get returns the job with the given ID.
+func (m *JobManager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a job: a queued job is finished as
+// cancelled immediately, a running job has its context cancelled (the
+// mining walk observes it mid-DFS and returns promptly). Cancelling a
+// job already in a terminal state is a no-op. The second return is
+// false when no job has this ID.
+func (m *JobManager) Cancel(id string) (JobState, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return "", false
+	}
+	switch j.state {
+	case JobQueued:
+		j.userStop = true
+		m.finishLocked(j, JobCancelled, nil, context.Canceled)
+	case JobRunning:
+		j.userStop = true
+		j.cancel()
+	}
+	return j.state, true
+}
+
+// Status snapshots a job for the wire.
+func (m *JobManager) Status(j *Job) JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Dataset:   j.req.Dataset,
+		CreatedAt: j.created,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// JobStats is the manager's /metrics snapshot.
+type JobStats struct {
+	Submitted int64 `json:"submitted"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+}
+
+// Stats snapshots the job counters.
+func (m *JobManager) Stats() JobStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := JobStats{
+		Submitted: m.submits,
+		Done:      m.counts[JobDone],
+		Failed:    m.counts[JobFailed],
+		Cancelled: m.counts[JobCancelled],
+	}
+	for _, j := range m.jobs {
+		switch j.state {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		}
+	}
+	return st
+}
+
+// Shutdown stops accepting submissions and drains the queue and running
+// jobs. When ctx expires first, every live job is cancelled and the
+// call waits only for the (prompt, context-aware) cancellations to
+// land, returning ctx.Err(). Safe to call more than once.
+func (m *JobManager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline hit: cancel everything still live. Workers then finish
+	// promptly (the miners poll their context mid-DFS) and queued jobs
+	// are skipped by the workers as already-terminal.
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		switch j.state {
+		case JobQueued:
+			m.finishLocked(j, JobCancelled, nil, context.Canceled)
+		case JobRunning:
+			j.cancel()
+		}
+	}
+	m.mu.Unlock()
+	<-drained
+	return ctx.Err()
+}
+
+// worker pulls jobs off the queue until it is closed and drained.
+func (m *JobManager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// runJob executes one job under a cancellable per-job context.
+func (m *JobManager) runJob(j *Job) {
+	m.mu.Lock()
+	if j.state != JobQueued { // cancelled while queued
+		m.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j.state = JobRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	m.mu.Unlock()
+	defer cancel()
+
+	res, err := m.run(ctx, j.req)
+
+	m.mu.Lock()
+	state := JobDone
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		state = JobCancelled
+	default:
+		state = JobFailed
+	}
+	m.finishLocked(j, state, res, err)
+	m.mu.Unlock()
+}
+
+// finishLocked moves a job to a terminal state. Callers hold m.mu.
+func (m *JobManager) finishLocked(j *Job, state JobState, res *MineResponse, err error) {
+	j.state = state
+	j.finished = time.Now()
+	j.result = res
+	j.err = err
+	j.cancel = nil
+	m.counts[state]++
+	close(j.done)
+}

@@ -1,0 +1,81 @@
+package server
+
+import "container/list"
+
+// lru is a least-recently-used map with optional entry-count and
+// byte-size caps, shared by the dataset store and the result cache. It
+// is not safe for concurrent use; owners hold their own lock.
+type lru[K comparable, V any] struct {
+	maxEntries int   // 0 = unlimited
+	maxBytes   int64 // 0 = unlimited
+	ll         *list.List
+	items      map[K]*list.Element
+	bytes      int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key  K
+	val  V
+	size int64
+}
+
+// newLRU returns an empty cache with the given caps (0 = unlimited).
+func newLRU[K comparable, V any](maxEntries int, maxBytes int64) *lru[K, V] {
+	return &lru[K, V]{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[K]*list.Element),
+	}
+}
+
+// get returns the value for key and marks it most recently used.
+func (l *lru[K, V]) get(key K) (V, bool) {
+	if el, ok := l.items[key]; ok {
+		l.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts (or refreshes) key with the given accounted size and
+// evicts least-recently-used entries until the caps hold again. It
+// returns the number of evicted entries. An entry larger than maxBytes
+// on its own is still stored — it simply evicts everything else; the
+// caller enforces per-upload limits.
+func (l *lru[K, V]) put(key K, val V, size int64) (evicted int) {
+	if el, ok := l.items[key]; ok {
+		ent := el.Value.(*lruEntry[K, V])
+		l.bytes += size - ent.size
+		ent.val, ent.size = val, size
+		l.ll.MoveToFront(el)
+	} else {
+		l.items[key] = l.ll.PushFront(&lruEntry[K, V]{key: key, val: val, size: size})
+		l.bytes += size
+	}
+	for l.ll.Len() > 1 && (l.overEntries() || l.overBytes()) {
+		l.removeOldest()
+		evicted++
+	}
+	return evicted
+}
+
+func (l *lru[K, V]) overEntries() bool { return l.maxEntries > 0 && l.ll.Len() > l.maxEntries }
+func (l *lru[K, V]) overBytes() bool   { return l.maxBytes > 0 && l.bytes > l.maxBytes }
+
+// removeOldest drops the least-recently-used entry.
+func (l *lru[K, V]) removeOldest() {
+	el := l.ll.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*lruEntry[K, V])
+	l.ll.Remove(el)
+	delete(l.items, ent.key)
+	l.bytes -= ent.size
+}
+
+// len reports the number of entries; size reports the accounted bytes.
+func (l *lru[K, V]) len() int    { return l.ll.Len() }
+func (l *lru[K, V]) size() int64 { return l.bytes }

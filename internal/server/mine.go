@@ -1,0 +1,131 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// MineRequest is the body of POST /mine and POST /jobs: which stored
+// dataset to mine and the full pipeline configuration. Config is
+// core.Config's JSON form — algorithm, minSupport, dependencies,
+// counting, parallelism, postFilter, rules, and (for scenes) the
+// extraction options.
+type MineRequest struct {
+	// Dataset is the digest returned by a dataset upload.
+	Dataset string `json:"dataset"`
+	// Config is the pipeline configuration.
+	Config core.Config `json:"config"`
+	// TimeoutMillis bounds this request's wall time; 0 uses the server
+	// default.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+}
+
+// MineResponse is the mining result: the frequent itemsets (all sizes),
+// optional association rules, and the run's headline numbers.
+type MineResponse struct {
+	Algorithm         string          `json:"algorithm"`
+	Dataset           string          `json:"dataset"`
+	Transactions      int             `json:"transactions"`
+	MinSupportCount   int             `json:"minSupportCount"`
+	PrunedDeps        int             `json:"prunedDependencies"`
+	PrunedSameFeature int             `json:"prunedSameFeature"`
+	MiningMicros      int64           `json:"miningMicros"`
+	Frequent          []ItemsetResult `json:"frequent"`
+	Rules             []RuleResult    `json:"rules,omitempty"`
+	// Cached reports whether this response was served from the result
+	// cache without re-mining.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// ItemsetResult is one frequent itemset with its absolute support.
+type ItemsetResult struct {
+	Items   []string `json:"items"`
+	Support int      `json:"support"`
+}
+
+// RuleResult is one association rule.
+type RuleResult struct {
+	Antecedent []string `json:"antecedent"`
+	Consequent []string `json:"consequent"`
+	Support    float64  `json:"support"`
+	Confidence float64  `json:"confidence"`
+	Lift       float64  `json:"lift"`
+}
+
+// errUnknownDataset is returned (wrapped) when a request names a digest
+// the store does not hold; handlers map it to 404.
+type errUnknownDataset string
+
+func (e errUnknownDataset) Error() string {
+	return fmt.Sprintf("server: unknown dataset %q (upload it first)", string(e))
+}
+
+// mine resolves the request's dataset, consults the result cache, and
+// otherwise runs the pipeline under ctx with the server's trace
+// attached. Identical (dataset, canonical config) requests after the
+// first are cache hits and never re-mine.
+func (s *Server) mine(ctx context.Context, req MineRequest) (*MineResponse, error) {
+	ds, ok := s.store.Get(req.Dataset)
+	if !ok {
+		return nil, errUnknownDataset(req.Dataset)
+	}
+	key, err := CacheKey(ds.Digest, req.Config)
+	if err != nil {
+		return nil, err
+	}
+	if resp, ok := s.cache.Get(key); ok {
+		s.trace.Add("server.cache.hits", 1)
+		return resp, nil
+	}
+	s.trace.Add("server.cache.misses", 1)
+	if s.mineHook != nil {
+		// Test seam: lets tests hold a "running" mine open deterministically.
+		if err := s.mineHook(ctx); err != nil {
+			return nil, err
+		}
+	}
+	ctx = obs.WithTrace(ctx, s.trace)
+	var out *core.Outcome
+	if ds.Kind == KindScene {
+		out, err = core.RunContext(ctx, ds.Scene, req.Config)
+	} else {
+		out, err = core.RunTableContext(ctx, ds.Table, req.Config)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := buildResponse(ds.Digest, out, req.Config)
+	s.cache.Put(key, resp)
+	return resp, nil
+}
+
+// buildResponse converts a pipeline outcome to the wire form.
+func buildResponse(digest string, out *core.Outcome, cfg core.Config) *MineResponse {
+	res := out.Result
+	resp := &MineResponse{
+		Algorithm:         cfg.Algorithm.String(),
+		Dataset:           digest,
+		Transactions:      res.NumTransactions,
+		MinSupportCount:   res.MinSupportCount,
+		PrunedDeps:        res.PrunedDeps,
+		PrunedSameFeature: res.PrunedSameFeature,
+		MiningMicros:      res.Duration.Microseconds(),
+		Frequent:          make([]ItemsetResult, 0, len(res.Frequent)),
+	}
+	for _, f := range res.Frequent {
+		resp.Frequent = append(resp.Frequent, ItemsetResult{Items: f.Items.Names(out.DB.Dict), Support: f.Support})
+	}
+	for _, r := range out.Rules {
+		resp.Rules = append(resp.Rules, RuleResult{
+			Antecedent: r.Antecedent.Names(out.DB.Dict),
+			Consequent: r.Consequent.Names(out.DB.Dict),
+			Support:    r.Support,
+			Confidence: r.Confidence,
+			Lift:       r.Lift,
+		})
+	}
+	return resp
+}

@@ -1,0 +1,154 @@
+// Package server implements qsrmined: the HTTP/JSON mining service over
+// the qsrmine pipeline. It offers content-addressed dataset uploads
+// (WKT-JSON scenes, transaction-table CSVs) held in an LRU-capped
+// in-memory store, synchronous mining, an async job manager with a
+// bounded worker pool and cancellation wired to context cancellation
+// mid-DFS, a result cache keyed by (dataset digest, canonical config),
+// and health/metrics endpoints snapshotting the obs collector.
+//
+// Endpoints:
+//
+//	POST   /datasets/scene   upload a WKT-JSON scene       -> {digest,...}
+//	POST   /datasets/table   upload a transaction CSV      -> {digest,...}
+//	GET    /datasets/{digest} dataset metadata
+//	POST   /mine             mine synchronously            -> MineResponse
+//	POST   /jobs             submit an async mining job    -> JobStatus (202)
+//	GET    /jobs/{id}        poll job status/result
+//	DELETE /jobs/{id}        cancel a queued or running job
+//	GET    /healthz          liveness + version
+//	GET    /metrics          obs snapshot + store/cache/job stats
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Options configures a Server. The zero value is usable; every field
+// has a sensible default.
+type Options struct {
+	// Workers is the job pool size (default GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the async submission queue (default 64).
+	QueueCap int
+	// StoreMaxEntries / StoreMaxBytes cap the dataset store
+	// (defaults 64 entries, 256 MiB).
+	StoreMaxEntries int
+	StoreMaxBytes   int64
+	// CacheMaxEntries caps the result cache (default 256).
+	CacheMaxEntries int
+	// MaxUploadBytes bounds one upload or request body (default 32 MiB).
+	MaxUploadBytes int64
+	// DefaultTimeout bounds a mining run when the request does not
+	// (default 60s).
+	DefaultTimeout time.Duration
+	// EventLimit bounds the obs event ring (default 4096).
+	EventLimit int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.StoreMaxEntries <= 0 {
+		o.StoreMaxEntries = 64
+	}
+	if o.StoreMaxBytes <= 0 {
+		o.StoreMaxBytes = 256 << 20
+	}
+	if o.CacheMaxEntries <= 0 {
+		o.CacheMaxEntries = 256
+	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 32 << 20
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.EventLimit <= 0 {
+		o.EventLimit = 4096
+	}
+	return o
+}
+
+// Server is the qsrmined service state. Create with New, expose with
+// Handler, stop with Shutdown.
+type Server struct {
+	opts      Options
+	store     *Store
+	cache     *ResultCache
+	jobs      *JobManager
+	trace     *obs.Trace
+	collector *obs.Collector
+	mux       *http.ServeMux
+	started   time.Time
+	draining  atomic.Bool
+	baseCtx   context.Context
+	stopBase  context.CancelFunc
+
+	// mineHook is a test seam invoked (when non-nil) before a cache-miss
+	// mine runs; returning an error aborts the run with it.
+	mineHook func(context.Context) error
+}
+
+// New assembles a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	collector := obs.NewRingCollector(opts.EventLimit)
+	s := &Server{
+		opts:      opts,
+		store:     NewStore(opts.StoreMaxEntries, opts.StoreMaxBytes),
+		cache:     NewResultCache(opts.CacheMaxEntries),
+		trace:     obs.New(collector),
+		collector: collector,
+		started:   time.Now(),
+	}
+	s.baseCtx, s.stopBase = context.WithCancel(context.Background())
+	s.jobs = NewJobManager(s.baseCtx, opts.Workers, opts.QueueCap, s.runJob)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// runJob executes one async job under the request (or default) timeout.
+func (s *Server) runJob(ctx context.Context, req MineRequest) (*MineResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.timeout(req))
+	defer cancel()
+	return s.mine(ctx, req)
+}
+
+// timeout resolves a request's mining deadline.
+func (s *Server) timeout(req MineRequest) time.Duration {
+	if req.TimeoutMillis > 0 {
+		return time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	return s.opts.DefaultTimeout
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown gracefully stops the service: new submissions (and uploads
+// and synchronous mining) are rejected with 503 immediately, queued and
+// running jobs are drained, and when ctx expires first the remaining
+// jobs are cancelled through their contexts — the mining engines
+// observe cancellation mid-DFS, so even that path returns promptly.
+// The HTTP listener itself is owned by the caller (cmd/qsrmined closes
+// it around this call). Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.jobs.Shutdown(ctx)
+	s.stopBase()
+	return err
+}

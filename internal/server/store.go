@@ -1,0 +1,109 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// DatasetKind discriminates the two upload formats.
+type DatasetKind string
+
+// Dataset kinds.
+const (
+	// KindScene is a WKT-JSON geographic scene (mined via extraction).
+	KindScene DatasetKind = "scene"
+	// KindTable is a transaction-table CSV (mined directly).
+	KindTable DatasetKind = "table"
+)
+
+// StoredDataset is one uploaded dataset, content-addressed by the
+// SHA-256 digest of the uploaded bytes. Exactly one of Scene/Table is
+// non-nil, matching Kind. The parsed value is immutable once stored.
+type StoredDataset struct {
+	// Digest is the lowercase hex SHA-256 of the upload body.
+	Digest string
+	// Kind says which field below is populated.
+	Kind DatasetKind
+	// Scene is the parsed geographic dataset (KindScene).
+	Scene *dataset.Dataset
+	// Table is the parsed transaction table (KindTable).
+	Table *dataset.Table
+	// Bytes is the size of the uploaded body (the LRU accounting unit).
+	Bytes int64
+	// Rows counts reference features (scene) or transactions (table).
+	Rows int
+}
+
+// Digest returns the content address of an upload body.
+func Digest(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// Store holds uploaded datasets in memory, content-addressed, with LRU
+// eviction under an entry cap and a byte cap. Re-uploading identical
+// bytes is idempotent and refreshes recency. Safe for concurrent use.
+type Store struct {
+	mu        sync.Mutex
+	lru       *lru[string, *StoredDataset]
+	evictions int64
+}
+
+// NewStore returns a Store with the given caps (0 = unlimited).
+func NewStore(maxEntries int, maxBytes int64) *Store {
+	return &Store{lru: newLRU[string, *StoredDataset](maxEntries, maxBytes)}
+}
+
+// PutScene stores a parsed scene under the digest of its upload body.
+func (s *Store) PutScene(body []byte, d *dataset.Dataset) *StoredDataset {
+	return s.put(&StoredDataset{
+		Digest: Digest(body),
+		Kind:   KindScene,
+		Scene:  d,
+		Bytes:  int64(len(body)),
+		Rows:   d.Reference.Len(),
+	})
+}
+
+// PutTable stores a parsed transaction table under the digest of its
+// upload body.
+func (s *Store) PutTable(body []byte, t *dataset.Table) *StoredDataset {
+	return s.put(&StoredDataset{
+		Digest: Digest(body),
+		Kind:   KindTable,
+		Table:  t,
+		Bytes:  int64(len(body)),
+		Rows:   t.Len(),
+	})
+}
+
+func (s *Store) put(sd *StoredDataset) *StoredDataset {
+	s.mu.Lock()
+	s.evictions += int64(s.lru.put(sd.Digest, sd, sd.Bytes))
+	s.mu.Unlock()
+	return sd
+}
+
+// Get returns the dataset stored under digest, refreshing its recency.
+func (s *Store) Get(digest string) (*StoredDataset, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.get(digest)
+}
+
+// StoreStats is the store's /metrics snapshot.
+type StoreStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Entries: s.lru.len(), Bytes: s.lru.size(), Evictions: s.evictions}
+}

@@ -209,7 +209,12 @@ const (
 
 // Mining.
 type (
-	// Config parameterises a pipeline run.
+	// Config parameterises a pipeline run. It round-trips through JSON
+	// with deterministic encoding: enums use their textual names (the
+	// same ones the CLI flags accept), the built-in discretizers encode
+	// as a tagged union, and unknown fields or enum names are rejected
+	// with a descriptive error. This is the wire format of the qsrmined
+	// HTTP service and the canonical form its result cache keys on.
 	Config = core.Config
 	// Outcome bundles the pipeline products.
 	Outcome = core.Outcome
