@@ -8,6 +8,7 @@
 //	experiments -list        # list experiment identifiers
 //	experiments -timing      # append per-stage wall time and a summary
 //	experiments -bench-json BENCH_mining.json   # machine-readable mining benchmarks
+//	experiments -bench-extract-json BENCH_extract.json   # spatial-join extraction benchmarks
 package main
 
 import (
@@ -24,10 +25,18 @@ func main() {
 	list := flag.Bool("list", false, "list available experiment identifiers")
 	timing := flag.Bool("timing", false, "print per-experiment wall time and a timing summary")
 	benchJSON := flag.String("bench-json", "", "measure the Figure 4-7 mining workloads and write JSON results (ns/op, allocs/op, pass stats) to this file, then exit")
+	benchExtractJSON := flag.String("bench-extract-json", "", "measure the spatial-join extraction workloads (per-pair relate and whole-scene extraction, prepared vs unprepared) and write JSON results to this file, then exit")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchExtractJSON != "" {
+		if err := writeExtractBenchJSON(*benchExtractJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -77,6 +86,23 @@ func writeBenchJSON(path string) error {
 		return err
 	}
 	if err := experiments.WriteMiningBenchJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeExtractBenchJSON measures the spatial-join extraction workloads
+// and writes the results to path ("-" for stdout).
+func writeExtractBenchJSON(path string) error {
+	if path == "-" {
+		return experiments.WriteExtractBenchJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteExtractBenchJSON(f); err != nil {
 		f.Close()
 		return err
 	}

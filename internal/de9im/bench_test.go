@@ -19,9 +19,55 @@ func ngon(n int, cx, cy, r float64) geom.Polygon {
 func BenchmarkRelatePolygonsOverlapping(b *testing.B) {
 	a := ngon(32, 0, 0, 10)
 	c := ngon(32, 8, 0, 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Relate(a, c)
+	}
+}
+
+// BenchmarkRelatePreparedPolygonsOverlapping is the prepared counterpart
+// of BenchmarkRelatePolygonsOverlapping: the per-geometry derived
+// structures are built once outside the loop, as a spatial join reuses
+// them across the whole join.
+func BenchmarkRelatePreparedPolygonsOverlapping(b *testing.B) {
+	pa := geom.Prepare(ngon(32, 0, 0, 10))
+	pc := geom.Prepare(ngon(32, 8, 0, 10))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RelatePrepared(pa, pc)
+	}
+}
+
+func BenchmarkRelatePreparedPolygonsTouching(b *testing.B) {
+	pa := geom.Prepare(geom.Rect(0, 0, 10, 10))
+	pc := geom.Prepare(geom.Rect(10, 0, 20, 10))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RelatePrepared(pa, pc)
+	}
+}
+
+func BenchmarkRelatePreparedLinePolygon(b *testing.B) {
+	pp := geom.Prepare(ngon(32, 0, 0, 10))
+	pl := geom.Prepare(geom.Line(geom.Pt(-15, 0), geom.Pt(15, 0)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RelatePrepared(pl, pp)
+	}
+}
+
+// BenchmarkPrepare measures the one-off preparation cost the join
+// amortises.
+func BenchmarkPrepare(b *testing.B) {
+	poly := ngon(32, 0, 0, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		geom.Prepare(poly)
 	}
 }
 

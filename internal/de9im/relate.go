@@ -2,6 +2,51 @@ package de9im
 
 import "repro/internal/geom"
 
+// operand abstracts the two inputs of the relate computation so the same
+// core serves raw geometries (derived structures built on demand, as
+// before) and prepared geometries (everything cached in geom.Prepared and
+// the hot queries answered through its edge tree). Both implementations
+// perform identical floating-point arithmetic, so the matrices agree
+// exactly.
+type operand interface {
+	IsEmpty() bool
+	Envelope() geom.Envelope
+	Soup() *geom.Soup
+	Locate(p geom.Point) geom.Location
+	AreaSamples() []geom.Point
+}
+
+// rawOperand wraps an unprepared geometry. The soup is built lazily and
+// memoized so the short-circuit paths (empty operand, disjoint
+// envelopes) keep their allocation profile, and the main path builds each
+// soup once, as the previous implementation did.
+type rawOperand struct {
+	g    geom.Geometry
+	soup *geom.Soup
+}
+
+func (o *rawOperand) IsEmpty() bool           { return o.g == nil || o.g.IsEmpty() }
+func (o *rawOperand) Envelope() geom.Envelope { return o.g.Envelope() }
+func (o *rawOperand) Soup() *geom.Soup {
+	if o.soup == nil {
+		o.soup = geom.BuildSoup(o.g)
+	}
+	return o.soup
+}
+func (o *rawOperand) Locate(p geom.Point) geom.Location { return geom.Locate(p, o.g) }
+func (o *rawOperand) AreaSamples() []geom.Point         { return geom.AreaSamples(o.g) }
+
+// nodeOperands nodes the two operands' linework: a tree join when both
+// sides are prepared, the all-pairs sweep otherwise.
+func nodeOperands(a, b operand) geom.NodeResult {
+	if pa, ok := a.(*geom.Prepared); ok {
+		if pb, ok := b.(*geom.Prepared); ok {
+			return geom.NodePrepared(pa, pb)
+		}
+	}
+	return geom.NodeSoups(a.Soup(), b.Soup())
+}
+
 // Relate computes the DE-9IM matrix of geometry a against geometry b.
 //
 // Algorithm: both geometries are decomposed into tagged linework and points
@@ -14,32 +59,46 @@ import "repro/internal/geom"
 // Inputs are assumed valid (simple rings, holes inside shells, multi-part
 // members with disjoint interiors); geom.Validate can check this.
 func Relate(a, b geom.Geometry) Matrix {
+	oa, ob := rawOperand{g: a}, rawOperand{g: b}
+	return relateOperands(&oa, &ob)
+}
+
+// RelatePrepared is Relate over prepared geometries: the cached soups,
+// envelopes, and sample points are reused, point location is answered by
+// the edge tree's stabbing and ray queries, and noding by a tree join.
+// The matrix is exactly Relate(a.Geometry(), b.Geometry()).
+func RelatePrepared(a, b *geom.Prepared) Matrix {
+	return relateOperands(a, b)
+}
+
+// relateOperands is the relate core shared by Relate and RelatePrepared.
+func relateOperands(a, b operand) Matrix {
 	m := NewMatrix()
-	aEmpty, bEmpty := a == nil || a.IsEmpty(), b == nil || b.IsEmpty()
+	aEmpty, bEmpty := a.IsEmpty(), b.IsEmpty()
 	m[Ext][Ext] = D2 // two bounded (possibly empty) geometries in the plane
 	if aEmpty && bEmpty {
 		return m
 	}
 	if aEmpty {
-		t := Relate(b, a).Transpose()
+		t := relateOperands(b, a).Transpose()
 		return t
 	}
 	if bEmpty {
 		// All of a lies in b's exterior.
-		fillAllExterior(&m, geom.BuildSoup(a), false)
+		fillAllExterior(&m, a.Soup(), false)
 		return m
 	}
 	// Disjoint envelopes imply disjoint geometries: fill both exterior
 	// slices directly and skip the noding machinery entirely. This is
 	// the common case of a spatial join after the index filter.
 	if !a.Envelope().Buffer(geom.Eps).Intersects(b.Envelope()) {
-		fillAllExterior(&m, geom.BuildSoup(a), false)
-		fillAllExterior(&m, geom.BuildSoup(b), true)
+		fillAllExterior(&m, a.Soup(), false)
+		fillAllExterior(&m, b.Soup(), true)
 		return m
 	}
 
-	sa, sb := geom.BuildSoup(a), geom.BuildSoup(b)
-	noded := geom.NodeSoups(sa, sb)
+	sa, sb := a.Soup(), b.Soup()
+	noded := nodeOperands(a, b)
 
 	// Classification evidence gathered along the way, used by the area
 	// entries below.
@@ -50,7 +109,7 @@ func Relate(a, b geom.Geometry) Matrix {
 
 	// Classify a's sub-segments against b.
 	for _, ts := range noded.SubA {
-		loc := geom.Locate(ts.Seg.Midpoint(), b)
+		loc := b.Locate(ts.Seg.Midpoint())
 		row := Int
 		if ts.Role == geom.RoleRingBoundary {
 			row = Bnd
@@ -67,7 +126,7 @@ func Relate(a, b geom.Geometry) Matrix {
 	}
 	// Classify b's sub-segments against a (transposed roles).
 	for _, ts := range noded.SubB {
-		loc := geom.Locate(ts.Seg.Midpoint(), a)
+		loc := a.Locate(ts.Seg.Midpoint())
 		col := Int
 		if ts.Role == geom.RoleRingBoundary {
 			col = Bnd
@@ -84,34 +143,34 @@ func Relate(a, b geom.Geometry) Matrix {
 	}
 	// Isolated interior points (Point/MultiPoint members).
 	for _, p := range sa.InteriorPoints {
-		m.Set(Int, locToCol(geom.Locate(p, b)), D0)
+		m.Set(Int, locToCol(b.Locate(p)), D0)
 	}
 	for _, p := range sb.InteriorPoints {
-		m.Set(rowOfLoc(geom.Locate(p, a)), Int, D0)
+		m.Set(rowOfLoc(a.Locate(p)), Int, D0)
 	}
 	// Linestring boundary (endpoint) points.
 	for _, p := range sa.BoundaryPoints {
-		m.Set(Bnd, locToCol(geom.Locate(p, b)), D0)
+		m.Set(Bnd, locToCol(b.Locate(p)), D0)
 	}
 	for _, p := range sb.BoundaryPoints {
-		m.Set(rowOfLoc(geom.Locate(p, a)), Bnd, D0)
+		m.Set(rowOfLoc(a.Locate(p)), Bnd, D0)
 	}
 	// Noding intersection points: 0-dimensional contacts that the
 	// sub-segment midpoints cannot see (e.g. two rings meeting at a
 	// single vertex).
 	for _, p := range noded.Nodes {
-		la, lb := geom.Locate(p, a), geom.Locate(p, b)
+		la, lb := a.Locate(p), b.Locate(p)
 		m.Set(rowOfLoc(la), locToCol(lb), D0)
 	}
 
 	// Area (dimension-2) entries.
 	if sa.HasArea || sb.HasArea {
 		// Interior samples, one per polygonal component.
-		samplesA := areaSamples(a)
-		samplesB := areaSamples(b)
+		samplesA := a.AreaSamples()
+		samplesB := b.AreaSamples()
 		var aSampleInIntB, aSampleInExtB, bSampleInIntA, bSampleInExtA bool
 		for _, p := range samplesA {
-			switch geom.Locate(p, b) {
+			switch b.Locate(p) {
 			case geom.Interior:
 				aSampleInIntB = true
 			case geom.Exterior:
@@ -119,7 +178,7 @@ func Relate(a, b geom.Geometry) Matrix {
 			}
 		}
 		for _, p := range samplesB {
-			switch geom.Locate(p, a) {
+			switch a.Locate(p) {
 			case geom.Interior:
 				bSampleInIntA = true
 			case geom.Exterior:
@@ -190,23 +249,4 @@ func rowOfLoc(l geom.Location) int {
 	default:
 		return Ext
 	}
-}
-
-// areaSamples returns one interior sample point per polygonal component.
-func areaSamples(g geom.Geometry) []geom.Point {
-	switch t := g.(type) {
-	case geom.Polygon:
-		if p, ok := geom.InteriorPoint(t); ok {
-			return []geom.Point{p}
-		}
-	case geom.MultiPolygon:
-		var pts []geom.Point
-		for _, poly := range t.Polygons {
-			if p, ok := geom.InteriorPoint(poly); ok {
-				pts = append(pts, p)
-			}
-		}
-		return pts
-	}
-	return nil
 }

@@ -160,6 +160,16 @@ func Classify(a, b geom.Geometry) Relation {
 	return ClassifyMatrix(m, a.Dimension(), b.Dimension())
 }
 
+// ClassifyPrepared is Classify over prepared geometries, computing the
+// matrix through RelatePrepared's cached structures and edge trees.
+func ClassifyPrepared(a, b *geom.Prepared) Relation {
+	if a.IsEmpty() || b.IsEmpty() {
+		return RelationNone
+	}
+	m := RelatePrepared(a, b)
+	return ClassifyMatrix(m, a.Geometry().Dimension(), b.Geometry().Dimension())
+}
+
 // ClassifyMatrix classifies a precomputed matrix; see Classify.
 func ClassifyMatrix(m Matrix, dimA, dimB int) Relation {
 	if m.IsDisjoint() {

@@ -1,0 +1,801 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Prepared caches the derived structures of a geometry that the relate /
+// distance / locate machinery otherwise recomputes on every call: the
+// envelope, the Soup decomposition, interior sample points, the centroid,
+// and an edge tree (an STR-packed R-tree over segment envelopes). The edge
+// tree turns the full-scan hot loops into indexed queries:
+//
+//   - Locate: a stabbing query finds the edges whose envelope can contain
+//     the probe instead of testing every segment, and a Y-interval
+//     traversal finds the ray-crossing edges;
+//   - noding: a tree join enumerates candidate segment pairs instead of
+//     the all-pairs sweep;
+//   - Distance: branch-and-bound over envelope lower bounds replaces the
+//     brute-force segment×segment scan.
+//
+// Every query is engineered to perform the same floating-point arithmetic
+// as its unprepared counterpart, in the same order, so results are exactly
+// identical — the tree only prunes work that provably cannot contribute.
+// A Prepared is immutable after Prepare returns and safe for concurrent
+// use by any number of goroutines.
+type Prepared struct {
+	g     Geometry
+	empty bool
+	env   Envelope
+	soup  *Soup
+	tree  segTree
+
+	// Component tables for Locate. rings/polys describe areal components
+	// (tree entry slots index rings); lines describe lineal components
+	// (slots index lines).
+	rings []prepRing
+	polys []prepPoly
+	lines []prepLine
+
+	// Cached sample points and centroid.
+	areaSamples []Point // one interior point per polygonal component
+	distSamples []Point // pointSamples(soup), for containment short-circuits
+	allPoints   []Point // InteriorPoints ++ BoundaryPoints, for noding splits
+	centroid    Point
+}
+
+// prepRing is one polygon ring (shell or hole); its slot in the edge tree
+// carries the per-ring on-boundary and ray-parity flags.
+type prepRing struct {
+	env Envelope
+}
+
+// prepPoly is one polygonal component: a contiguous run of rings, shell
+// first.
+type prepPoly struct {
+	ringFirst int32
+	ringCount int32
+}
+
+// prepLine is one lineal component.
+type prepLine struct {
+	first, last Point
+	closed      bool
+	empty       bool
+}
+
+// Flag bits used by the Locate traversals (one byte per slot).
+const (
+	prepParityBit  = 1 << 0 // ray-crossing parity (areal slots)
+	prepOnSegBit   = 1 << 1 // probe lies on some edge of the slot
+	prepVisitedBit = 1 << 2 // slot already folded into the running result
+)
+
+// Prepare builds the derived structures of g once, for reuse across many
+// relate/distance/locate calls against the same geometry. Preparing a nil
+// or empty geometry is allowed and yields an empty Prepared.
+func Prepare(g Geometry) *Prepared {
+	pg := &Prepared{g: g, empty: g == nil || g.IsEmpty(), env: EmptyEnvelope()}
+	if g == nil {
+		return pg
+	}
+	pg.env = g.Envelope()
+	pg.soup = BuildSoup(g)
+	pg.centroid = Centroid(g)
+	pg.areaSamples = AreaSamples(g)
+	pg.distSamples = pointSamples(pg.soup)
+	pg.allPoints = append(append(make([]Point, 0, len(pg.soup.InteriorPoints)+len(pg.soup.BoundaryPoints)), pg.soup.InteriorPoints...), pg.soup.BoundaryPoints...)
+
+	// Enumerate the edges in exactly BuildSoup's order, assigning each
+	// non-degenerate edge its index into soup.Segments. Degenerate edges
+	// (skipped by BuildSoup) still enter the tree with soup == -1: the
+	// unprepared Locate scans them too, so the stabbing and ray queries
+	// must see them; noding and distance filter them out.
+	var entries []segEntry
+	soupIdx := int32(0)
+	addSeg := func(seg Segment, slot int32) {
+		si := int32(-1)
+		if !seg.IsDegenerate() {
+			si = soupIdx
+			soupIdx++
+		}
+		entries = append(entries, segEntry{seg: seg, env: seg.Envelope(), slot: slot, soup: si})
+	}
+	addLine := func(l LineString) {
+		slot := int32(len(pg.lines))
+		pg.lines = append(pg.lines, prepLine{empty: len(l.Coords) == 0, closed: l.IsClosed()})
+		if len(l.Coords) > 0 {
+			pg.lines[slot].first = l.Coords[0]
+			pg.lines[slot].last = l.Coords[len(l.Coords)-1]
+		}
+		for i := 0; i < l.NumSegments(); i++ {
+			addSeg(l.Segment(i), slot)
+		}
+	}
+	addPoly := func(p Polygon) {
+		comp := prepPoly{ringFirst: int32(len(pg.rings))}
+		if !p.IsEmpty() {
+			for _, r := range p.Rings() {
+				slot := int32(len(pg.rings))
+				pg.rings = append(pg.rings, prepRing{env: r.Envelope()})
+				for i := 0; i < r.NumSegments(); i++ {
+					addSeg(r.Segment(i), slot)
+				}
+			}
+		}
+		comp.ringCount = int32(len(pg.rings)) - comp.ringFirst
+		pg.polys = append(pg.polys, comp)
+	}
+	switch t := g.(type) {
+	case Point, MultiPoint:
+		// Point-set only; Locate delegates to the scalar comparisons.
+	case LineString:
+		addLine(t)
+	case MultiLineString:
+		for _, l := range t.Lines {
+			addLine(l)
+		}
+	case Polygon:
+		addPoly(t)
+	case MultiPolygon:
+		for _, p := range t.Polygons {
+			addPoly(p)
+		}
+	default:
+		panic(fmt.Sprintf("geom: unknown geometry type %T", g))
+	}
+	if int(soupIdx) != len(pg.soup.Segments) {
+		panic(fmt.Sprintf("geom: prepared edge walk found %d soup segments, BuildSoup produced %d", soupIdx, len(pg.soup.Segments)))
+	}
+	pg.tree = buildSegTree(entries)
+	return pg
+}
+
+// Geometry returns the wrapped geometry (nil for Prepare(nil)).
+func (pg *Prepared) Geometry() Geometry {
+	if pg == nil {
+		return nil
+	}
+	return pg.g
+}
+
+// IsEmpty reports whether the wrapped geometry is nil or empty.
+func (pg *Prepared) IsEmpty() bool { return pg == nil || pg.empty }
+
+// Envelope returns the cached envelope.
+func (pg *Prepared) Envelope() Envelope {
+	if pg == nil {
+		return EmptyEnvelope()
+	}
+	return pg.env
+}
+
+// Soup returns the cached decomposition (nil for Prepare(nil)).
+func (pg *Prepared) Soup() *Soup { return pg.soup }
+
+// Centroid returns the cached centroid.
+func (pg *Prepared) Centroid() Point { return pg.centroid }
+
+// AreaSamples returns the cached per-component interior sample points.
+func (pg *Prepared) AreaSamples() []Point { return pg.areaSamples }
+
+// NumEdges returns the number of edges held by the edge tree (a
+// preparation cost statistic).
+func (pg *Prepared) NumEdges() int {
+	if pg == nil {
+		return 0
+	}
+	return len(pg.tree.entries)
+}
+
+// Locate classifies p against the prepared geometry. It returns exactly
+// Locate(p, pg.Geometry()) but answers through the edge tree: an
+// envelope fast path rejects far probes, a stabbing query limits the
+// on-boundary tests to edges whose envelope can contain p, and a
+// Y-interval traversal visits only the edges a +X ray can cross.
+func (pg *Prepared) Locate(p Point) Location {
+	if pg == nil || pg.empty {
+		return Exterior
+	}
+	// The buffered-envelope test subsumes every per-segment and
+	// per-point tolerance below, so a miss here is Exterior for all
+	// geometry kinds.
+	if !pg.env.Buffer(Eps).ContainsPoint(p) {
+		return Exterior
+	}
+	switch pg.g.(type) {
+	case Point, MultiPoint:
+		return Locate(p, pg.g)
+	case LineString, MultiLineString:
+		return pg.locateLineal(p)
+	default:
+		return pg.locateAreal(p)
+	}
+}
+
+// locateLineal classifies p against the prepared line work, replicating
+// LocateOnLineString / locateOnMultiLine (including the mod-2 endpoint
+// rule) over the tree's stabbing candidates. Lines without a candidate
+// edge would fail every OnSegment test, so skipping them is exact.
+func (pg *Prepared) locateLineal(p Point) Location {
+	var candBuf [prepStackCands]int32
+	cands := pg.tree.pointCandidates(p, candBuf[:0])
+	if len(cands) == 0 {
+		return Exterior
+	}
+	var flagBuf [prepStackSlots]uint8
+	var flags []uint8
+	if len(pg.lines) <= prepStackSlots {
+		flags = flagBuf[:len(pg.lines)]
+	} else {
+		flags = make([]uint8, len(pg.lines))
+	}
+	for _, ei := range cands {
+		e := &pg.tree.entries[ei]
+		if flags[e.slot]&prepOnSegBit == 0 && e.seg.OnSegment(p) {
+			flags[e.slot] |= prepOnSegBit
+		}
+	}
+	endpointHits := 0
+	interiorHit := false
+	for _, ei := range cands {
+		slot := pg.tree.entries[ei].slot
+		if flags[slot]&prepVisitedBit != 0 {
+			continue
+		}
+		flags[slot] |= prepVisitedBit
+		if flags[slot]&prepOnSegBit == 0 {
+			continue // this line answers Exterior
+		}
+		ln := &pg.lines[slot]
+		switch {
+		case ln.closed:
+			interiorHit = true
+		case p.DistanceTo(ln.first) <= Eps || p.DistanceTo(ln.last) <= Eps:
+			endpointHits++
+		default:
+			interiorHit = true
+		}
+	}
+	if endpointHits%2 == 1 {
+		return Boundary
+	}
+	if interiorHit || endpointHits > 0 {
+		return Interior
+	}
+	return Exterior
+}
+
+// locateAreal classifies p against the prepared polygonal components,
+// replicating LocateInPolygon ring by ring. The on-boundary and
+// ray-parity evidence per ring comes from the tree; the per-ring envelope
+// early-exits and the hole logic are then pure flag reads.
+func (pg *Prepared) locateAreal(p Point) Location {
+	var flagBuf [prepStackSlots]uint8
+	var flags []uint8
+	if len(pg.rings) <= prepStackSlots {
+		flags = flagBuf[:len(pg.rings)]
+	} else {
+		flags = make([]uint8, len(pg.rings))
+	}
+	var candBuf [prepStackCands]int32
+	for _, ei := range pg.tree.pointCandidates(p, candBuf[:0]) {
+		e := &pg.tree.entries[ei]
+		if flags[e.slot]&prepOnSegBit == 0 && e.seg.OnSegment(p) {
+			flags[e.slot] |= prepOnSegBit
+		}
+	}
+	pg.tree.rayFlags(p, flags)
+	if len(pg.polys) == 1 {
+		return pg.locatePoly(p, pg.polys[0], flags)
+	}
+	loc := Exterior
+	for _, comp := range pg.polys {
+		switch pg.locatePoly(p, comp, flags) {
+		case Interior:
+			return Interior
+		case Boundary:
+			loc = Boundary
+		}
+	}
+	return loc
+}
+
+// locatePoly folds the per-ring evidence into one polygon's location,
+// mirroring LocateInPolygon: the shell decides exterior/boundary, holes
+// carve the interior.
+func (pg *Prepared) locatePoly(p Point, comp prepPoly, flags []uint8) Location {
+	if comp.ringCount == 0 {
+		return Exterior
+	}
+	switch pg.ringLoc(p, comp.ringFirst, flags) {
+	case Exterior:
+		return Exterior
+	case Boundary:
+		return Boundary
+	}
+	for h := comp.ringFirst + 1; h < comp.ringFirst+comp.ringCount; h++ {
+		switch pg.ringLoc(p, h, flags) {
+		case Interior:
+			return Exterior
+		case Boundary:
+			return Boundary
+		}
+	}
+	return Interior
+}
+
+// ringLoc reads one ring's location from the traversal flags, with the
+// same buffered-envelope early-exit LocateInRing performs. A ring whose
+// envelope excludes p can have neither flag set (its edges' envelopes are
+// contained in the ring envelope), so the order of checks is immaterial —
+// it is kept for symmetry with the unprepared code.
+func (pg *Prepared) ringLoc(p Point, slot int32, flags []uint8) Location {
+	if !pg.rings[slot].env.Buffer(Eps).ContainsPoint(p) {
+		return Exterior
+	}
+	f := flags[slot]
+	if f&prepOnSegBit != 0 {
+		return Boundary
+	}
+	if f&prepParityBit != 0 {
+		return Interior
+	}
+	return Exterior
+}
+
+// DistanceTo returns the minimal distance between the two prepared
+// geometries — exactly Distance(pg.Geometry(), o.Geometry()) — using the
+// cached soups and sample points, and a dual-tree branch-and-bound over
+// envelope lower bounds in place of the brute-force segment×segment scan.
+func (pg *Prepared) DistanceTo(o *Prepared) float64 {
+	if pg.IsEmpty() || o.IsEmpty() {
+		return math.Inf(1)
+	}
+	sa, sb := pg.soup, o.soup
+	// Containment short-circuits, as in Distance.
+	if sa.HasArea && pg.containsAny(o.distSamples) {
+		return 0
+	}
+	if sb.HasArea && o.containsAny(pg.distSamples) {
+		return 0
+	}
+	best := math.Inf(1)
+	// Segment-to-segment: branch-and-bound. Only pairs whose envelope
+	// distance exceeds the running best are pruned; such pairs cannot
+	// hold the minimum, so the result equals the brute-force scan.
+	if pg.tree.root >= 0 && o.tree.root >= 0 {
+		best = segPairDist(&pg.tree, &o.tree, pg.tree.root, o.tree.root, best)
+		if best == 0 {
+			return 0
+		}
+	}
+	// Point-to-segment and point-to-point distances, as in Distance.
+	for _, p := range sa.InteriorPoints {
+		for _, tb := range sb.Segments {
+			if d := tb.Seg.DistanceToPoint(p); d < best {
+				best = d
+			}
+		}
+		for _, q := range sb.InteriorPoints {
+			if d := p.DistanceTo(q); d < best {
+				best = d
+			}
+		}
+	}
+	for _, q := range sb.InteriorPoints {
+		for _, ta := range sa.Segments {
+			if d := ta.Seg.DistanceToPoint(q); d < best {
+				best = d
+			}
+		}
+	}
+	if best <= Eps {
+		return 0
+	}
+	return best
+}
+
+// containsAny reports whether any of the points is not in the exterior of
+// the prepared geometry (anyPointInside against the cached envelope).
+func (pg *Prepared) containsAny(pts []Point) bool {
+	env := pg.env.Buffer(Eps)
+	for _, p := range pts {
+		if !env.ContainsPoint(p) {
+			continue
+		}
+		if pg.Locate(p) != Exterior {
+			return true
+		}
+	}
+	return false
+}
+
+// NodePrepared is NodeSoups over two prepared geometries: the candidate
+// segment pairs come from an edge-tree join instead of the all-pairs
+// envelope sweep. Candidates are visited in the same (i-major, j-ascending)
+// order as NodeSoups, so the cut lists and the order-sensitive node-point
+// deduplication produce identical results.
+func NodePrepared(a, b *Prepared) NodeResult {
+	sa, sb := a.soup, b.soup
+	var res NodeResult
+	nodeSet := newPointSet()
+
+	cutsA := make([][]float64, len(sa.Segments))
+	cutsB := make([][]float64, len(sb.Segments))
+
+	var candBuf [prepStackCands]int32
+	var jBuf [prepStackCands]int32
+	for i := range sa.Segments {
+		saSeg := sa.Segments[i].Seg
+		ea := saSeg.Envelope().Buffer(Eps)
+		js := jBuf[:0]
+		for _, ei := range b.tree.envCandidates(ea, candBuf[:0]) {
+			if s := b.tree.entries[ei].soup; s >= 0 {
+				js = append(js, s)
+			}
+		}
+		sortInt32s(js)
+		for _, j := range js {
+			sbSeg := sb.Segments[j].Seg
+			kind, p0, p1 := saSeg.Intersect(sbSeg)
+			switch kind {
+			case IntersectionPoint:
+				cutsA[i] = append(cutsA[i], paramOn(saSeg, p0))
+				cutsB[j] = append(cutsB[j], paramOn(sbSeg, p0))
+				nodeSet.add(p0)
+			case IntersectionOverlap:
+				for _, p := range []Point{p0, p1} {
+					cutsA[i] = append(cutsA[i], paramOn(saSeg, p))
+					cutsB[j] = append(cutsB[j], paramOn(sbSeg, p))
+					nodeSet.add(p)
+				}
+			}
+		}
+	}
+	splitAtPointsPrepared(a, cutsA, b.allPoints, nodeSet)
+	splitAtPointsPrepared(b, cutsB, a.allPoints, nodeSet)
+
+	res.SubA = splitAll(sa.Segments, cutsA)
+	res.SubB = splitAll(sb.Segments, cutsB)
+	res.Nodes = nodeSet.points
+	return res
+}
+
+// splitAtPointsPrepared splits pg's segments at the other soup's isolated
+// points, finding the candidate segments per point through the edge tree.
+// The (segment, point) pairs are then processed in segment-major,
+// point-ascending order — the visiting order of the unprepared
+// splitAtPoints — so cut lists and node deduplication match exactly.
+func splitAtPointsPrepared(pg *Prepared, cuts [][]float64, pts []Point, nodeSet *pointSet) {
+	if len(pts) == 0 || pg.tree.root < 0 {
+		return
+	}
+	type segPoint struct {
+		seg int32
+		pt  int32
+	}
+	var pairBuf [prepStackCands]segPoint
+	pairs := pairBuf[:0]
+	var candBuf [prepStackCands]int32
+	for pi, p := range pts {
+		for _, ei := range pg.tree.pointCandidates(p, candBuf[:0]) {
+			if s := pg.tree.entries[ei].soup; s >= 0 {
+				pairs = append(pairs, segPoint{seg: s, pt: int32(pi)})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].seg != pairs[j].seg {
+			return pairs[i].seg < pairs[j].seg
+		}
+		return pairs[i].pt < pairs[j].pt
+	})
+	for _, pr := range pairs {
+		ts := pg.soup.Segments[pr.seg]
+		p := pts[pr.pt]
+		env := ts.Seg.Envelope().Buffer(Eps)
+		if env.ContainsPoint(p) && ts.Seg.OnSegment(p) {
+			cuts[pr.seg] = append(cuts[pr.seg], paramOn(ts.Seg, p))
+			nodeSet.add(p)
+		}
+	}
+}
+
+// AreaSamples returns one interior sample point per polygonal component
+// of g, or nil for non-areal geometries. These are the witnesses the
+// DE-9IM area entries are decided with.
+func AreaSamples(g Geometry) []Point {
+	switch t := g.(type) {
+	case Polygon:
+		if p, ok := InteriorPoint(t); ok {
+			return []Point{p}
+		}
+	case MultiPolygon:
+		var pts []Point
+		for _, poly := range t.Polygons {
+			if p, ok := polygonInteriorPoint(poly); ok {
+				pts = append(pts, p)
+			}
+		}
+		return pts
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Edge tree: a flat-array STR-packed R-tree over segment envelopes.
+
+// Traversal scratch sizes: stack-allocated buffers for the hot queries;
+// larger geometries spill to the heap transparently via append / make.
+const (
+	prepStackCands = 128
+	prepStackSlots = 64
+	segTreeFan     = 8
+)
+
+// segEntry is one leaf edge: the segment, its envelope, the Locate slot
+// it reports to (ring index for polygons, line index for linestrings),
+// and its index into the soup's segment list (-1 for degenerate edges,
+// which only the Locate queries may see).
+type segEntry struct {
+	seg  Segment
+	env  Envelope
+	slot int32
+	soup int32
+}
+
+// segNode is one tree node. Leaves reference a contiguous run of entries;
+// internal nodes a contiguous run of child nodes.
+type segNode struct {
+	env   Envelope
+	first int32
+	count int32
+	leaf  bool
+}
+
+// segTree is the packed tree. root is -1 for edge-less geometries.
+type segTree struct {
+	entries []segEntry
+	nodes   []segNode
+	root    int32
+}
+
+// buildSegTree bulk-loads the entries sort-tile-recursively: entries are
+// sorted by envelope center X, tiled into vertical strips, each strip
+// sorted by center Y, and packed into leaves of segTreeFan entries. Upper
+// levels group consecutive nodes (the STR order keeps neighbours
+// spatially close), giving a pointer-free array layout.
+func buildSegTree(entries []segEntry) segTree {
+	t := segTree{entries: entries, root: -1}
+	n := len(entries)
+	if n == 0 {
+		return t
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].env.Center().X < entries[j].env.Center().X
+	})
+	leafCount := (n + segTreeFan - 1) / segTreeFan
+	strips := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	stripSize := (n + strips - 1) / strips
+	for s := 0; s < n; s += stripSize {
+		e := s + stripSize
+		if e > n {
+			e = n
+		}
+		strip := entries[s:e]
+		sort.Slice(strip, func(i, j int) bool {
+			return strip[i].env.Center().Y < strip[j].env.Center().Y
+		})
+	}
+	for o := 0; o < n; o += segTreeFan {
+		e := o + segTreeFan
+		if e > n {
+			e = n
+		}
+		node := segNode{leaf: true, first: int32(o), count: int32(e - o), env: EmptyEnvelope()}
+		for i := o; i < e; i++ {
+			node.env = node.env.Union(entries[i].env)
+		}
+		t.nodes = append(t.nodes, node)
+	}
+	levelStart, levelCount := 0, len(t.nodes)
+	for levelCount > 1 {
+		next := len(t.nodes)
+		for o := 0; o < levelCount; o += segTreeFan {
+			e := o + segTreeFan
+			if e > levelCount {
+				e = levelCount
+			}
+			node := segNode{first: int32(levelStart + o), count: int32(e - o), env: EmptyEnvelope()}
+			for c := o; c < e; c++ {
+				node.env = node.env.Union(t.nodes[levelStart+c].env)
+			}
+			t.nodes = append(t.nodes, node)
+		}
+		levelStart, levelCount = next, len(t.nodes)-next
+	}
+	t.root = int32(levelStart)
+	return t
+}
+
+// pointCandidates appends the indices of entries whose buffered envelope
+// contains p — exactly the edges for which OnSegment or a point-split env
+// test can succeed.
+func (t *segTree) pointCandidates(p Point, dst []int32) []int32 {
+	if t.root < 0 {
+		return dst
+	}
+	var stackBuf [64]int32
+	stack := append(stackBuf[:0], t.root)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[ni]
+		if !n.env.Buffer(Eps).ContainsPoint(p) {
+			continue
+		}
+		if n.leaf {
+			for i := n.first; i < n.first+n.count; i++ {
+				if t.entries[i].env.Buffer(Eps).ContainsPoint(p) {
+					dst = append(dst, i)
+				}
+			}
+		} else {
+			for c := n.first; c < n.first+n.count; c++ {
+				stack = append(stack, c)
+			}
+		}
+	}
+	return dst
+}
+
+// envCandidates appends the indices of entries whose envelope intersects
+// q (q is expected pre-buffered by the caller, matching the NodeSoups
+// prefilter).
+func (t *segTree) envCandidates(q Envelope, dst []int32) []int32 {
+	if t.root < 0 {
+		return dst
+	}
+	var stackBuf [64]int32
+	stack := append(stackBuf[:0], t.root)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[ni]
+		if !q.Intersects(n.env) {
+			continue
+		}
+		if n.leaf {
+			for i := n.first; i < n.first+n.count; i++ {
+				if q.Intersects(t.entries[i].env) {
+					dst = append(dst, i)
+				}
+			}
+		} else {
+			for c := n.first; c < n.first+n.count; c++ {
+				stack = append(stack, c)
+			}
+		}
+	}
+	return dst
+}
+
+// rayFlags casts the +X ray from p and XORs the crossing parity of each
+// edge into its slot's parity bit. Nodes are pruned purely on the exact Y
+// comparisons of the half-open crossing rule — an edge crosses only when
+// exactly one endpoint is strictly above the ray, which requires
+// env.MinY <= p.Y < env.MaxY-ish bounds — so no arithmetic is performed
+// that the unprepared LocateInRing loop would not perform, and the
+// surviving edges evaluate the identical xAt expression.
+func (t *segTree) rayFlags(p Point, flags []uint8) {
+	if t.root < 0 {
+		return
+	}
+	var stackBuf [64]int32
+	stack := append(stackBuf[:0], t.root)
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[ni]
+		// (a.Y > p.Y) != (b.Y > p.Y) needs one endpoint above and one at
+		// or below the ray: impossible when the whole node is at/below
+		// (MaxY <= p.Y) or strictly above (MinY > p.Y).
+		if n.env.MaxY <= p.Y || n.env.MinY > p.Y {
+			continue
+		}
+		if n.leaf {
+			for i := n.first; i < n.first+n.count; i++ {
+				e := &t.entries[i]
+				a, b := e.seg.A, e.seg.B
+				if (a.Y > p.Y) != (b.Y > p.Y) {
+					xAt := a.X + (p.Y-a.Y)/(b.Y-a.Y)*(b.X-a.X)
+					if xAt > p.X {
+						flags[e.slot] ^= prepParityBit
+					}
+				}
+			}
+		} else {
+			for c := n.first; c < n.first+n.count; c++ {
+				stack = append(stack, c)
+			}
+		}
+	}
+}
+
+// segPairDist is the dual-tree branch-and-bound kernel: the minimum
+// segment-to-segment distance between the two subtrees, no larger than
+// best. Degenerate edges (soup < 0) are not soup segments and are skipped,
+// as the brute-force scan never sees them.
+func segPairDist(ta, tb *segTree, ia, ib int32, best float64) float64 {
+	na, nb := &ta.nodes[ia], &tb.nodes[ib]
+	if na.env.Distance(nb.env) > best {
+		return best
+	}
+	switch {
+	case na.leaf && nb.leaf:
+		for i := na.first; i < na.first+na.count; i++ {
+			ea := &ta.entries[i]
+			if ea.soup < 0 {
+				continue
+			}
+			for j := nb.first; j < nb.first+nb.count; j++ {
+				eb := &tb.entries[j]
+				if eb.soup < 0 {
+					continue
+				}
+				if d := ea.seg.DistanceToSegment(eb.seg); d < best {
+					best = d
+					if best == 0 {
+						return 0
+					}
+				}
+			}
+		}
+	case na.leaf:
+		for c := nb.first; c < nb.first+nb.count; c++ {
+			best = segPairDist(ta, tb, ia, c, best)
+			if best == 0 {
+				return 0
+			}
+		}
+	case nb.leaf:
+		for c := na.first; c < na.first+na.count; c++ {
+			best = segPairDist(ta, tb, c, ib, best)
+			if best == 0 {
+				return 0
+			}
+		}
+	default:
+		// Split the node with the larger envelope: tighter child bounds
+		// prune earlier.
+		if na.env.Perimeter() >= nb.env.Perimeter() {
+			for c := na.first; c < na.first+na.count; c++ {
+				best = segPairDist(ta, tb, c, ib, best)
+				if best == 0 {
+					return 0
+				}
+			}
+		} else {
+			for c := nb.first; c < nb.first+nb.count; c++ {
+				best = segPairDist(ta, tb, ia, c, best)
+				if best == 0 {
+					return 0
+				}
+			}
+		}
+	}
+	return best
+}
+
+// sortInt32s is an insertion sort for the small candidate lists of the
+// noding join (keeps the hot path allocation-free).
+func sortInt32s(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// preparedTestGeometries returns a diverse pile of geometries on a small
+// half-integer lattice, so random pairs frequently touch, overlap, share
+// vertices, or contain one another — the cases where the prepared and
+// unprepared code paths could plausibly diverge.
+func preparedTestGeometries(rng *rand.Rand) []Geometry {
+	half := func(n int) float64 { return float64(rng.Intn(n)) / 2 }
+	var gs []Geometry
+	// Rectangles, including degenerate-thin ones.
+	for i := 0; i < 6; i++ {
+		x, y := half(12), half(12)
+		gs = append(gs, Rect(x, y, x+0.5+half(8), y+0.5+half(8)))
+	}
+	// Irregular convex polygons (jittered n-gons).
+	for i := 0; i < 4; i++ {
+		cx, cy := 1+half(10), 1+half(10)
+		r := 0.5 + half(5)
+		n := 5 + rng.Intn(8)
+		var coords []Point
+		for k := 0; k < n; k++ {
+			ang := 2 * math.Pi * float64(k) / float64(n)
+			rr := r * (0.7 + 0.3*rng.Float64())
+			coords = append(coords, Pt(cx+rr*math.Cos(ang), cy+rr*math.Sin(ang)))
+		}
+		gs = append(gs, Polygon{Shell: Ring{Coords: coords}})
+	}
+	// Donuts.
+	for i := 0; i < 3; i++ {
+		x, y := half(8), half(8)
+		gs = append(gs, Polygon{
+			Shell: Ring{Coords: []Point{Pt(x, y), Pt(x + 4, y), Pt(x + 4, y + 4), Pt(x, y + 4)}},
+			Holes: []Ring{{Coords: []Point{Pt(x + 1.5, y + 1.5), Pt(x + 2.5, y + 1.5), Pt(x + 2.5, y + 2.5), Pt(x + 1.5, y + 2.5)}}},
+		})
+	}
+	// Multipolygons of two disjoint parts.
+	for i := 0; i < 2; i++ {
+		x, y := half(6), half(6)
+		gs = append(gs, MultiPolygon{Polygons: []Polygon{
+			Rect(x, y, x+1.5, y+1.5),
+			Rect(x+3, y+3, x+4.5, y+4.5),
+		}})
+	}
+	// Open polylines, closed rings-as-lines, and multilines.
+	for i := 0; i < 4; i++ {
+		var coords []Point
+		x, y := half(12), half(12)
+		coords = append(coords, Pt(x, y))
+		for k := 0; k < 2+rng.Intn(4); k++ {
+			x += half(6) - 1.5
+			y += half(6) - 1.5
+			coords = append(coords, Pt(x, y))
+		}
+		gs = append(gs, LineString{Coords: coords})
+	}
+	gs = append(gs,
+		Line(Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4), Pt(0, 0)), // closed
+		MultiLineString{Lines: []LineString{
+			Line(Pt(1, 1), Pt(3, 1)),
+			Line(Pt(3, 1), Pt(3, 3)), // shares an endpoint: mod-2 rule
+			Line(Pt(5, 5), Pt(7, 7)),
+		}},
+	)
+	// Points and multipoints, some on the lattice (vertex/edge contact).
+	for i := 0; i < 4; i++ {
+		gs = append(gs, Pt(half(16), half(16)))
+	}
+	gs = append(gs, MultiPoint{Points: []Point{Pt(1, 1), Pt(2, 2), Pt(4, 0)}})
+	return gs
+}
+
+// preparedProbePoints returns probe points that stress a geometry's
+// Locate: a grid over the (buffered) envelope plus every vertex, edge
+// midpoint, and near-vertex jitter.
+func preparedProbePoints(g Geometry) []Point {
+	var pts []Point
+	env := g.Envelope().Buffer(1)
+	if !env.IsEmpty() {
+		stepX := (env.MaxX - env.MinX) / 9
+		stepY := (env.MaxY - env.MinY) / 9
+		if stepX <= 0 {
+			stepX = 0.25
+		}
+		if stepY <= 0 {
+			stepY = 0.25
+		}
+		for x := env.MinX; x <= env.MaxX; x += stepX {
+			for y := env.MinY; y <= env.MaxY; y += stepY {
+				pts = append(pts, Pt(x, y))
+			}
+		}
+	}
+	addSeg := func(s Segment) {
+		pts = append(pts, s.A, s.Midpoint(), Pt(s.A.X+Eps/2, s.A.Y), Pt(s.Midpoint().X, s.Midpoint().Y+1e-7))
+	}
+	switch t := g.(type) {
+	case Point:
+		pts = append(pts, t)
+	case MultiPoint:
+		pts = append(pts, t.Points...)
+	case LineString:
+		for i := 0; i < t.NumSegments(); i++ {
+			addSeg(t.Segment(i))
+		}
+	case MultiLineString:
+		for _, l := range t.Lines {
+			for i := 0; i < l.NumSegments(); i++ {
+				addSeg(l.Segment(i))
+			}
+		}
+	case Polygon:
+		for _, r := range t.Rings() {
+			for i := 0; i < r.NumSegments(); i++ {
+				addSeg(r.Segment(i))
+			}
+		}
+	case MultiPolygon:
+		for _, p := range t.Polygons {
+			for _, r := range p.Rings() {
+				for i := 0; i < r.NumSegments(); i++ {
+					addSeg(r.Segment(i))
+				}
+			}
+		}
+	}
+	return pts
+}
+
+func TestPreparedLocateMatchesLocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for gi, g := range preparedTestGeometries(rng) {
+		pg := Prepare(g)
+		for _, p := range preparedProbePoints(g) {
+			want := Locate(p, g)
+			got := pg.Locate(p)
+			if got != want {
+				t.Fatalf("geometry %d (%s): Locate(%v) prepared=%v unprepared=%v",
+					gi, g.WKT(), p, got, want)
+			}
+		}
+		// Far probes exercise the envelope fast path.
+		if got := pg.Locate(Pt(1e6, -1e6)); got != Exterior {
+			t.Fatalf("geometry %d: far probe located %v", gi, got)
+		}
+	}
+}
+
+func TestNodePreparedMatchesNodeSoups(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gs := preparedTestGeometries(rng)
+	prepared := make([]*Prepared, len(gs))
+	for i, g := range gs {
+		prepared[i] = Prepare(g)
+	}
+	pairs := 0
+	for i, a := range gs {
+		for j, b := range gs {
+			if a.IsEmpty() || b.IsEmpty() {
+				continue
+			}
+			want := NodeSoups(BuildSoup(a), BuildSoup(b))
+			got := NodePrepared(prepared[i], prepared[j])
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("NodePrepared(%s, %s) diverges:\n got  %+v\n want %+v",
+					a.WKT(), b.WKT(), got, want)
+			}
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no pairs noded")
+	}
+}
+
+func TestPreparedDistanceMatchesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	gs := preparedTestGeometries(rng)
+	prepared := make([]*Prepared, len(gs))
+	for i, g := range gs {
+		prepared[i] = Prepare(g)
+	}
+	for i, a := range gs {
+		for j, b := range gs {
+			want := Distance(a, b)
+			got := prepared[i].DistanceTo(prepared[j])
+			// Exact equality: the branch-and-bound evaluates the same
+			// expressions as the brute-force scan, only skipping pairs
+			// that cannot hold the minimum.
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("Distance(%s, %s) prepared=%v unprepared=%v",
+					a.WKT(), b.WKT(), got, want)
+			}
+		}
+	}
+}
+
+func TestPreparedEmptyAndNil(t *testing.T) {
+	cases := []*Prepared{
+		Prepare(nil),
+		Prepare(MultiPoint{}),
+		Prepare(LineString{}),
+		Prepare(Polygon{}),
+		Prepare(MultiPolygon{}),
+	}
+	for i, pg := range cases {
+		if !pg.IsEmpty() {
+			t.Errorf("case %d: not empty", i)
+		}
+		if got := pg.Locate(Pt(0, 0)); got != Exterior {
+			t.Errorf("case %d: Locate = %v", i, got)
+		}
+		if d := pg.DistanceTo(Prepare(Pt(1, 1))); !math.IsInf(d, 1) {
+			t.Errorf("case %d: distance to empty = %v", i, d)
+		}
+	}
+	var nilPrepared *Prepared
+	if !nilPrepared.IsEmpty() || nilPrepared.NumEdges() != 0 {
+		t.Error("nil *Prepared must behave as empty")
+	}
+}
+
+// TestPreparedConcurrentUse drives one shared Prepared from many
+// goroutines; run with -race this pins the read-only sharing contract
+// the extraction worker pool relies on.
+func TestPreparedConcurrentUse(t *testing.T) {
+	donut := Polygon{
+		Shell: Ring{Coords: []Point{Pt(0, 0), Pt(8, 0), Pt(8, 8), Pt(0, 8)}},
+		Holes: []Ring{{Coords: []Point{Pt(3, 3), Pt(5, 3), Pt(5, 5), Pt(3, 5)}}},
+	}
+	pg := Prepare(donut)
+	other := Prepare(Rect(6, 6, 10, 10))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				p := Pt(rng.Float64()*10-1, rng.Float64()*10-1)
+				if got, want := pg.Locate(p), Locate(p, donut); got != want {
+					t.Errorf("Locate(%v) = %v, want %v", p, got, want)
+					return
+				}
+				if got, want := pg.DistanceTo(other), Distance(donut, other.Geometry()); got != want {
+					t.Errorf("DistanceTo = %v, want %v", got, want)
+					return
+				}
+				_ = NodePrepared(pg, other)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+func TestAreaSamplesMatchesRelateUsage(t *testing.T) {
+	donut := Polygon{
+		Shell: Ring{Coords: []Point{Pt(0, 0), Pt(8, 0), Pt(8, 8), Pt(0, 8)}},
+		Holes: []Ring{{Coords: []Point{Pt(3, 3), Pt(5, 3), Pt(5, 5), Pt(3, 5)}}},
+	}
+	for _, g := range []Geometry{
+		Rect(0, 0, 2, 2),
+		donut,
+		MultiPolygon{Polygons: []Polygon{Rect(0, 0, 1, 1), Rect(3, 3, 4, 4)}},
+	} {
+		samples := AreaSamples(g)
+		if len(samples) == 0 {
+			t.Fatalf("no area samples for %s", g.WKT())
+		}
+		for _, p := range samples {
+			if Locate(p, g) != Interior {
+				t.Fatalf("sample %v of %s is not interior", p, g.WKT())
+			}
+		}
+	}
+	if AreaSamples(Line(Pt(0, 0), Pt(1, 1))) != nil {
+		t.Fatal("lineal geometry must have no area samples")
+	}
+}

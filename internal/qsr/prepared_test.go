@@ -1,0 +1,55 @@
+package qsr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestPreparedWrappersMatchUnprepared pins the three prepared entry
+// points against their unprepared counterparts over random polygon,
+// line, and point pairs.
+func TestPreparedWrappersMatchUnprepared(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	half := func(n int) float64 { return float64(rng.Intn(n)) / 2 }
+	randGeom := func() geom.Geometry {
+		switch rng.Intn(3) {
+		case 0:
+			x, y := half(10), half(10)
+			return geom.Rect(x, y, x+0.5+half(6), y+0.5+half(6))
+		case 1:
+			x, y := half(10), half(10)
+			return geom.Line(geom.Pt(x, y), geom.Pt(x+half(6), y+half(6)), geom.Pt(x+half(6), y))
+		default:
+			return geom.Pt(half(12), half(12))
+		}
+	}
+	thresholds := []DistanceThresholds{
+		DefaultThresholds(4),
+		{VeryCloseMax: 0.5, CloseMax: 1},
+		{VeryCloseMax: 0, CloseMax: 0}, // everything beyond contact is farFrom
+	}
+	for trial := 0; trial < 300; trial++ {
+		a, b := randGeom(), randGeom()
+		pa, pb := geom.Prepare(a), geom.Prepare(b)
+
+		relW, okW := Topological(a, b)
+		relG, okG := TopologicalPrepared(pa, pb)
+		if relW != relG || okW != okG {
+			t.Fatalf("trial %d: Topological (%v,%v) vs prepared (%v,%v)\n a=%s\n b=%s",
+				trial, relW, okW, relG, okG, a.WKT(), b.WKT())
+		}
+		for _, th := range thresholds {
+			if w, g := DistanceRelation(a, b, th), DistanceRelationPrepared(pa, pb, th); w != g {
+				t.Fatalf("trial %d: DistanceRelation %v vs prepared %v (thresholds %+v)\n a=%s\n b=%s",
+					trial, w, g, th, a.WKT(), b.WKT())
+			}
+		}
+		dW, okW := Directional(a, b)
+		dG, okG := DirectionalPrepared(pa, pb)
+		if dW != dG || okW != okG {
+			t.Fatalf("trial %d: Directional (%v,%v) vs prepared (%v,%v)", trial, dW, okW, dG, okG)
+		}
+	}
+}

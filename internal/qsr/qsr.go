@@ -175,6 +175,13 @@ func Topological(a, b geom.Geometry) (Relation, bool) {
 	return fromDE9IM(de9im.Classify(a, b))
 }
 
+// TopologicalPrepared is Topological over prepared geometries, reusing
+// their cached soups, sample points, and edge trees. The result is
+// identical to Topological on the wrapped geometries.
+func TopologicalPrepared(a, b *geom.Prepared) (Relation, bool) {
+	return fromDE9IM(de9im.ClassifyPrepared(a, b))
+}
+
 // DistanceThresholds cuts continuous distance into the qualitative
 // vocabulary: d <= VeryCloseMax is veryCloseTo, d <= CloseMax is closeTo,
 // anything further is farFrom.
@@ -210,12 +217,30 @@ func DistanceRelation(a, b geom.Geometry, t DistanceThresholds) Relation {
 	return t.Classify(geom.Distance(a, b))
 }
 
+// DistanceRelationPrepared is DistanceRelation over prepared geometries:
+// the distance comes from the branch-and-bound over the cached edge
+// trees and equals geom.Distance on the wrapped geometries exactly, so
+// the classification cannot differ.
+func DistanceRelationPrepared(a, b *geom.Prepared, t DistanceThresholds) Relation {
+	return t.Classify(a.DistanceTo(b))
+}
+
 // Directional returns the dominant cardinal direction of b relative to a,
 // comparing centroids: b northOf a when the vertical offset dominates and
 // is positive, etc. The boolean is false when the centroids coincide (no
 // meaningful direction).
 func Directional(a, b geom.Geometry) (Relation, bool) {
-	ca, cb := geom.Centroid(a), geom.Centroid(b)
+	return directionalFrom(geom.Centroid(a), geom.Centroid(b))
+}
+
+// DirectionalPrepared is Directional over prepared geometries, reusing
+// their cached centroids.
+func DirectionalPrepared(a, b *geom.Prepared) (Relation, bool) {
+	return directionalFrom(a.Centroid(), b.Centroid())
+}
+
+// directionalFrom compares two centroids under the dominant-axis rule.
+func directionalFrom(ca, cb geom.Point) (Relation, bool) {
 	dx, dy := cb.X-ca.X, cb.Y-ca.Y
 	if dx == 0 && dy == 0 {
 		return 0, false

@@ -164,6 +164,14 @@ func TestEndToEndAsyncJobMatchesLibraryRun(t *testing.T) {
 	if m.Obs.Counters["mine.frequent"] == 0 {
 		t.Error("obs counters missing mining pass data")
 	}
+	// The extraction stage's filter-and-refine tallies flow through too:
+	// exact relates performed and prepared geometries built.
+	if m.Obs.Counters["extract.relates"] == 0 {
+		t.Errorf("obs counters missing extract.relates (counters: %v)", m.Obs.Counters)
+	}
+	if m.Obs.Counters["extract.prepared.builds"] == 0 {
+		t.Errorf("obs counters missing extract.prepared.builds (counters: %v)", m.Obs.Counters)
+	}
 	var sawMine bool
 	for _, sr := range m.Obs.Stages {
 		if sr.Name == "mine" {

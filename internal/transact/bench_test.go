@@ -1,0 +1,52 @@
+package transact
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/qsr"
+)
+
+// benchScene generates the benchmark scene outside the timed region so
+// every iteration measures extraction, not generation.
+func benchScene(b *testing.B, grid int) *dataset.Dataset {
+	b.Helper()
+	d, err := datagen.GenerateScene(datagen.DefaultScene(grid, grid, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkExtractScenePrepared measures full-table extraction with the
+// prepared-geometry refine path (the default); its Unprepared sibling is
+// the before-number of the filter-and-refine rework.
+func BenchmarkExtractScenePrepared(b *testing.B) {
+	benchmarkExtractScene(b, false)
+}
+
+func BenchmarkExtractSceneUnprepared(b *testing.B) {
+	benchmarkExtractScene(b, true)
+}
+
+func benchmarkExtractScene(b *testing.B, noPrepare bool) {
+	d := benchScene(b, 10)
+	opts := DefaultOptions()
+	opts.Distance = true
+	opts.Thresholds = qsr.DefaultThresholds(10)
+	opts.NoPrepare = noPrepare
+	rows := d.Reference.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := Extract(d, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if table.Len() != rows {
+			b.Fatal(fmt.Errorf("extracted %d rows, want %d", table.Len(), rows))
+		}
+	}
+}

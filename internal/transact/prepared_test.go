@@ -1,0 +1,122 @@
+package transact
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/obs"
+	"repro/internal/qsr"
+)
+
+// TestExtractPreparedMatchesUnprepared is the acceptance property of the
+// prepared-geometry rework: for every relation family, both granularities,
+// and sequential as well as parallel extraction, the prepared refine path
+// must produce a byte-identical transaction table to the unprepared one.
+func TestExtractPreparedMatchesUnprepared(t *testing.T) {
+	d, err := datagen.GenerateScene(datagen.DefaultScene(8, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	families := map[string]Options{
+		"topological":  {Topological: true, Index: RTreeIndex},
+		"withDisjoint": {Topological: true, IncludeDisjoint: true, Index: GridIndex},
+		"distance":     {Distance: true, Thresholds: qsr.DefaultThresholds(10), IncludeFarFrom: true, Index: RTreeIndex},
+		"directional":  {Directional: true, Index: NoIndex},
+		"all": {
+			Topological: true,
+			Distance:    true, Thresholds: qsr.DefaultThresholds(10),
+			Directional: true,
+			IncludeIsA:  true,
+			Index:       RTreeIndex,
+		},
+	}
+	for name, base := range families {
+		for _, gran := range []Granularity{TypeLevel, InstanceLevel} {
+			for _, par := range []int{1, 4} {
+				opts := base
+				opts.Granularity = gran
+				opts.Parallelism = par
+				t.Run(fmt.Sprintf("%s/gran=%d/par=%d", name, gran, par), func(t *testing.T) {
+					prepared, err := Extract(d, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					raw := opts
+					raw.NoPrepare = true
+					unprepared, err := Extract(d, raw)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(prepared.Transactions) != len(unprepared.Transactions) {
+						t.Fatalf("row counts diverge: %d vs %d",
+							len(prepared.Transactions), len(unprepared.Transactions))
+					}
+					for i := range prepared.Transactions {
+						p, u := prepared.Transactions[i], unprepared.Transactions[i]
+						if p.RefID != u.RefID || !reflect.DeepEqual(p.Items, u.Items) {
+							t.Fatalf("row %d diverges:\n prepared   %s %v\n unprepared %s %v",
+								i, p.RefID, p.Items, u.RefID, u.Items)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestExtractRefineCounters pins the new filter-and-refine observability:
+// the exact-relate and envelope-skip tallies and the prepared-build stats
+// must reach the attached trace.
+func TestExtractRefineCounters(t *testing.T) {
+	d, err := datagen.GenerateScene(datagen.DefaultScene(8, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Distance = true
+	opts.Thresholds = qsr.DefaultThresholds(10)
+
+	tr := obs.New(nil)
+	ctx := obs.WithTrace(context.Background(), tr)
+	if _, err := ExtractContext(ctx, d, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Counter("extract.relates"); got == 0 {
+		t.Errorf("extract.relates = 0, want > 0 (counters: %v)", tr.Counters())
+	}
+	if got := tr.Counter("extract.prepared.builds"); got == 0 {
+		t.Errorf("extract.prepared.builds = 0, want > 0")
+	}
+	if got := tr.Counter("extract.prepared.edges"); got == 0 {
+		t.Errorf("extract.prepared.edges = 0, want > 0")
+	}
+	// Envelope short-circuits happen on the scene (distant candidates
+	// under the distance family, disjoint envelopes under topological).
+	if got := tr.Counter("extract.refine.skipped"); got == 0 {
+		t.Errorf("extract.refine.skipped = 0, want > 0 (counters: %v)", tr.Counters())
+	}
+
+	// The unprepared path must not report prepared builds.
+	tr2 := obs.New(nil)
+	raw := opts
+	raw.NoPrepare = true
+	if _, err := ExtractContext(obs.WithTrace(context.Background(), tr2), d, raw); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr2.Counter("extract.prepared.builds"); got != 0 {
+		t.Errorf("NoPrepare extraction reported %d prepared builds", got)
+	}
+	if got := tr2.Counter("extract.relates"); got == 0 {
+		t.Errorf("unprepared extraction must still count relates")
+	}
+	// Identical work happens on both paths, so the refine tallies agree.
+	if a, b := tr.Counter("extract.relates"), tr2.Counter("extract.relates"); a != b {
+		t.Errorf("relate counts diverge: prepared %d vs unprepared %d", a, b)
+	}
+	if a, b := tr.Counter("extract.refine.skipped"), tr2.Counter("extract.refine.skipped"); a != b {
+		t.Errorf("skip counts diverge: prepared %d vs unprepared %d", a, b)
+	}
+}

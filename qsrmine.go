@@ -100,8 +100,22 @@ var (
 // DE9IM is a computed 9-intersection matrix.
 type DE9IM = de9im.Matrix
 
-// Relate computes the DE-9IM matrix of two geometries.
-var Relate = de9im.Relate
+// PreparedGeometry caches derived structures (envelope, segment soup,
+// sample points, an edge R-tree) for a geometry that takes part in many
+// comparisons, e.g. one side of a spatial join. Build one with Prepare;
+// it is immutable and safe for concurrent use.
+type PreparedGeometry = geom.Prepared
+
+var (
+	// Relate computes the DE-9IM matrix of two geometries.
+	Relate = de9im.Relate
+	// Prepare builds the derived structures that accelerate repeated
+	// relates, distances, and point locations against one geometry.
+	Prepare = geom.Prepare
+	// RelatePrepared computes the DE-9IM matrix from prepared operands;
+	// the result is byte-identical to Relate on the raw geometries.
+	RelatePrepared = de9im.RelatePrepared
+)
 
 // Qualitative relation vocabulary.
 type (
@@ -142,6 +156,12 @@ var (
 	DistanceRelation = qsr.DistanceRelation
 	// Directional classifies the dominant cardinal direction.
 	Directional = qsr.Directional
+	// TopologicalPrepared, DistanceRelationPrepared, and
+	// DirectionalPrepared are the prepared-operand forms of the three
+	// classifiers; they return exactly what the unprepared forms return.
+	TopologicalPrepared      = qsr.TopologicalPrepared
+	DistanceRelationPrepared = qsr.DistanceRelationPrepared
+	DirectionalPrepared      = qsr.DirectionalPrepared
 	// ParsePredicate parses "contains_slum" notation.
 	ParsePredicate = qsr.ParsePredicate
 )
