@@ -1,0 +1,198 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func newNode(t *testing.T) *client.Client {
+	t.Helper()
+	s := server.New(server.Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	return client.New(ts.URL)
+}
+
+// TestClientRoundTrip drives the full happy path through the typed
+// client: upload, sync mine, async job, metadata, metrics.
+func TestClientRoundTrip(t *testing.T) {
+	c := newNode(t)
+	ctx := context.Background()
+
+	info, err := c.UploadDataset(ctx, api.KindTable, []byte("r1,a,b\nr2,a,b\nr3,a,c\n"))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if info.Kind != api.KindTable || info.Rows != 3 || len(info.Digest) != 64 {
+		t.Fatalf("upload info = %+v", info)
+	}
+	back, err := c.GetDataset(ctx, info.Digest)
+	if err != nil || back != info {
+		t.Fatalf("GetDataset = %+v, %v", back, err)
+	}
+
+	req := api.MineRequest{Dataset: info.Digest, Config: core.Config{MinSupport: 0.5}}
+	resp, err := c.Mine(ctx, req)
+	if err != nil {
+		t.Fatalf("mine: %v", err)
+	}
+	if resp.Transactions != 3 || len(resp.Frequent) == 0 {
+		t.Fatalf("mine response = %+v", resp)
+	}
+
+	st, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	final, err := c.WaitJob(waitCtx, st.ID, time.Millisecond)
+	if err != nil || final.State != api.JobDone {
+		t.Fatalf("WaitJob = %+v, %v", final, err)
+	}
+	// Identical request: the async run filled the cache.
+	if !final.Result.Cached && final.Result.Transactions != resp.Transactions {
+		t.Errorf("async result diverged from sync: %+v", final.Result)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" || h.Role != "node" {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m.Store.Entries != 1 || m.Jobs.Done != 1 || m.Ring != nil {
+		t.Errorf("metrics = store %+v jobs %+v ring %v", m.Store, m.Jobs, m.Ring)
+	}
+}
+
+// TestClientTypedErrors: non-2xx responses surface as *APIError with
+// the machine code, message, and request ID from the envelope.
+func TestClientTypedErrors(t *testing.T) {
+	c := newNode(t)
+	ctx := context.Background()
+
+	_, err := c.Mine(ctx, api.MineRequest{Dataset: "beef", Config: core.Config{MinSupport: 0.5}})
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %T %v, want *APIError", err, err)
+	}
+	if ae.Status != http.StatusNotFound || ae.Code != api.CodeNotFound || ae.RequestID == "" {
+		t.Errorf("APIError = %+v", ae)
+	}
+	if !client.IsNotFound(err) || client.IsRetryable(err) {
+		t.Errorf("classification wrong for %v", err)
+	}
+	if client.ErrCode(err) != api.CodeNotFound {
+		t.Errorf("ErrCode = %q", client.ErrCode(err))
+	}
+
+	// A validation failure maps to bad_request.
+	_, err = c.Mine(ctx, api.MineRequest{Dataset: "beef", Config: core.Config{MinSupport: 7}})
+	if client.ErrCode(err) != api.CodeBadRequest {
+		t.Errorf("bad minsup ErrCode = %q, want bad_request", client.ErrCode(err))
+	}
+
+	// Unknown upload kind is rejected client-side.
+	if _, err := c.UploadDataset(ctx, api.DatasetKind("tape"), nil); err == nil {
+		t.Error("unknown dataset kind accepted")
+	}
+}
+
+// TestClientDrainingAndRetryable: a draining node's 503 decodes to the
+// draining code, is marked retryable, carries the Retry-After hint —
+// and Health still reports the draining document instead of erroring.
+func TestClientDrainingAndRetryable(t *testing.T) {
+	s := server.New(server.Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(ts.URL)
+
+	_, err := c.UploadDataset(ctx, api.KindTable, []byte("r1,a\n"))
+	if client.ErrCode(err) != api.CodeDraining || !client.IsRetryable(err) {
+		t.Fatalf("draining upload err = %v", err)
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) && ae.RetryAfter == 0 {
+		t.Error("draining error missing RetryAfter")
+	}
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "draining" {
+		t.Errorf("Health on draining node = %+v, %v", h, err)
+	}
+}
+
+// TestClientDefaultDeadline: WithTimeout bounds calls whose context has
+// no deadline; a caller-supplied deadline is never overridden.
+func TestClientDefaultDeadline(t *testing.T) {
+	stuck := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hold every request until the client hangs up
+	}))
+	defer stuck.Close()
+
+	c := client.New(stuck.URL, client.WithTimeout(30*time.Millisecond))
+	begin := time.Now()
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("call against a stuck server returned")
+	}
+	if took := time.Since(begin); took > 5*time.Second {
+		t.Fatalf("default deadline did not bound the call (%v)", took)
+	}
+
+	// An explicit (longer) caller deadline wins over the default.
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	begin = time.Now()
+	if _, err := c.Health(ctx); err == nil {
+		t.Fatal("call against a stuck server returned")
+	}
+	if took := time.Since(begin); took < 100*time.Millisecond {
+		t.Fatalf("caller deadline overridden by the shorter default (%v)", took)
+	}
+}
+
+// TestClientAgainstFrontNode: the same typed client drives a multi-node
+// front without changes — the symmetry the /v1 contract guarantees.
+func TestClientAgainstFrontNode(t *testing.T) {
+	s := server.New(server.Options{Workers: 2})
+	node := httptest.NewServer(s.Handler())
+	defer node.Close()
+	defer s.Shutdown(context.Background())
+	front, err := server.NewProxy(server.ProxyOptions{Peers: []string{node.URL}, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := httptest.NewServer(front.Handler())
+	defer fts.Close()
+
+	c := client.New(fts.URL)
+	ctx := context.Background()
+	info, err := c.UploadDataset(ctx, api.KindTable, []byte("r1,a,b\nr2,a,b\n"))
+	if err != nil {
+		t.Fatalf("upload via front: %v", err)
+	}
+	resp, err := c.Mine(ctx, api.MineRequest{Dataset: info.Digest, Config: core.Config{MinSupport: 0.5}})
+	if err != nil || resp.Transactions != 2 {
+		t.Fatalf("mine via front = %+v, %v", resp, err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil || h.Role != "front" {
+		t.Errorf("front health = %+v, %v", h, err)
+	}
+}

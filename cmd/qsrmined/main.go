@@ -1,19 +1,29 @@
 // Command qsrmined is the long-running HTTP mining service: upload
 // datasets (WKT-JSON scenes or transaction CSVs), mine them
 // synchronously or as cancellable async jobs, and scrape live metrics.
+// The API lives under /v1/; the unprefixed legacy paths still answer
+// but carry a Deprecation header.
 //
 // Usage:
 //
 //	qsrmined -addr :8080
 //	qsrmined -addr :8080 -workers 4 -queue 128 -default-timeout 30s
+//	qsrmined -addr :8080 -batch-window 2ms -batch-max 32   # micro-batch small sync mines
+//	qsrmined -addr :8090 -peers localhost:8081,localhost:8082   # front node: route, don't mine
 //	qsrmined -dump-sample scene.json   # write the Porto Alegre sample scene and exit
 //	qsrmined -version
 //
 // A quick session against a running daemon:
 //
 //	qsrmined -dump-sample scene.json
-//	curl -s -X POST --data-binary @scene.json localhost:8080/datasets/scene
-//	curl -s -X POST -d '{"dataset":"<digest>","config":{"algorithm":"eclat-kc+","minSupport":0.3}}' localhost:8080/mine
+//	curl -s -X POST --data-binary @scene.json localhost:8080/v1/datasets/scene
+//	curl -s -X POST -d '{"dataset":"<digest>","config":{"algorithm":"eclat-kc+","minSupport":0.3}}' localhost:8080/v1/mine
+//
+// With -peers the process becomes a front node: it stores and mines
+// nothing itself, but consistent-hashes each dataset digest onto the
+// peer list, replicates uploads to -replicas peers, and fails over to
+// the next ring candidate when a peer is down. Responses are forwarded
+// byte-for-byte.
 //
 // SIGINT/SIGTERM drain gracefully: new submissions get 503, in-flight
 // jobs finish (or are cancelled at the drain deadline), the listener
@@ -29,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,6 +63,12 @@ func main() {
 	}
 }
 
+// drainable is what run needs from either role: mining node or front.
+type drainable interface {
+	Handler() http.Handler
+	Shutdown(ctx context.Context) error
+}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("qsrmined", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -65,6 +82,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxUpload    = fs.Int64("max-upload", 32<<20, "maximum request body bytes")
 		defTimeout   = fs.Duration("default-timeout", 60*time.Second, "default per-request mining deadline")
 		drainWait    = fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain deadline")
+		batchWindow  = fs.Duration("batch-window", 0, "micro-batch window for sync /v1/mine (0 = batching off)")
+		batchMax     = fs.Int("batch-max", 16, "maximum requests per micro-batch")
+		peerList     = fs.String("peers", "", "comma-separated peer base URLs; non-empty makes this a routing front node")
+		replicas     = fs.Int("replicas", 2, "dataset replicas per digest (front node)")
+		accessLog    = fs.Bool("access-log", false, "log one line per request to stderr")
 		dumpSample   = fs.String("dump-sample", "", "write the built-in Porto Alegre sample scene JSON to FILE (or - for stdout) and exit")
 		version      = fs.Bool("version", false, "print version and exit")
 	)
@@ -82,23 +104,48 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return writeSample(*dumpSample, stdout)
 	}
 
-	srv := server.New(server.Options{
-		Workers:         *workers,
-		QueueCap:        *queueCap,
-		StoreMaxEntries: *storeEntries,
-		StoreMaxBytes:   *storeBytes,
-		CacheMaxEntries: *cacheEntries,
-		MaxUploadBytes:  *maxUpload,
-		DefaultTimeout:  *defTimeout,
-	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	var logw io.Writer
+	if *accessLog {
+		logw = stderr
+	}
+
+	var node drainable
+	role := "node"
+	if *peerList != "" {
+		peers := splitPeers(*peerList)
+		front, err := server.NewProxy(server.ProxyOptions{
+			Peers:          peers,
+			Replicas:       *replicas,
+			MaxUploadBytes: *maxUpload,
+			AccessLog:      logw,
+		})
+		if err != nil {
+			return err
+		}
+		node = front
+		role = fmt.Sprintf("front (%d peers, %d replicas)", len(peers), *replicas)
+	} else {
+		node = server.New(server.Options{
+			Workers:         *workers,
+			QueueCap:        *queueCap,
+			StoreMaxEntries: *storeEntries,
+			StoreMaxBytes:   *storeBytes,
+			CacheMaxEntries: *cacheEntries,
+			MaxUploadBytes:  *maxUpload,
+			DefaultTimeout:  *defTimeout,
+			BatchWindow:     *batchWindow,
+			BatchMax:        *batchMax,
+			AccessLog:       logw,
+		})
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: node.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(stderr, "qsrmined %s listening on %s\n", buildinfo.Version, *addr)
+		fmt.Fprintf(stderr, "qsrmined %s listening on %s as %s\n", buildinfo.Version, *addr, role)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -113,7 +160,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// Order: flip to draining first so new submissions see 503 while the
 	// listener is still up, then drain jobs, then close the listener
 	// (which waits for in-flight HTTP handlers).
-	jobsErr := srv.Shutdown(drainCtx)
+	jobsErr := node.Shutdown(drainCtx)
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("closing listener: %w", err)
 	}
@@ -124,8 +171,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// splitPeers parses the -peers list, defaulting schemeless entries to
+// http:// so "-peers host1:8081,host2:8081" just works.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		peers = append(peers, p)
+	}
+	return peers
+}
+
 // writeSample writes the built-in Porto Alegre scene as WKT-JSON, the
-// exact format POST /datasets/scene accepts.
+// exact format POST /v1/datasets/scene accepts.
 func writeSample(path string, stdout io.Writer) error {
 	scene := dataset.PortoAlegreScene()
 	if path == "-" {

@@ -35,6 +35,10 @@ const (
 	// KindPass carries one mining pass's candidate/pruned/frequent
 	// counts.
 	KindPass
+	// KindAnnotation is a free-form note attached to a named subsystem —
+	// the server emits one per HTTP request (carrying the request ID) and
+	// one per micro-batch flush (carrying size and flush reason).
+	KindAnnotation
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +50,8 @@ func (k EventKind) String() string {
 		return "stage-end"
 	case KindPass:
 		return "pass"
+	case KindAnnotation:
+		return "annotation"
 	}
 	return "unknown"
 }
@@ -84,6 +90,8 @@ type Event struct {
 	AllocBytes uint64 `json:"allocBytes,omitempty"`
 	// Pass is the pass payload (KindPass only).
 	Pass PassEvent `json:"pass"`
+	// Detail is the annotation text (KindAnnotation only).
+	Detail string `json:"detail,omitempty"`
 }
 
 // Sink receives events. Implementations must be safe for concurrent use;
@@ -180,6 +188,16 @@ func (t *Trace) Pass(p PassEvent) {
 	if t.sink != nil {
 		t.sink.Emit(Event{Kind: KindPass, Time: time.Now(), Pass: p})
 	}
+}
+
+// Annotate emits a KindAnnotation event for a named subsystem. Safe on
+// a nil receiver; a trace without a sink drops the annotation (there is
+// no counter side to a note).
+func (t *Trace) Annotate(stage, detail string) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	t.sink.Emit(Event{Kind: KindAnnotation, Time: time.Now(), Stage: stage, Detail: detail})
 }
 
 // Add increments a monotonic named counter. Safe on a nil receiver and

@@ -169,6 +169,8 @@ func (s *TextSink) Emit(e Event) {
 		p := e.Pass
 		fmt.Fprintf(s.w, "[trace]   pass k=%d  candidates=%d pruned_deps=%d pruned_same=%d frequent=%d  (%v)\n",
 			p.K, p.Candidates, p.PrunedDeps, p.PrunedSameFeature, p.Frequent, p.Duration)
+	case KindAnnotation:
+		fmt.Fprintf(s.w, "[trace] note  %-12s %s\n", e.Stage, e.Detail)
 	}
 }
 

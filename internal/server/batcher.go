@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// batchItem is one synchronous mining request waiting in the batcher's
+// collection window.
+type batchItem struct {
+	ctx context.Context
+	req MineRequest
+	out chan batchOut // buffered(1): flush never blocks on delivery
+}
+
+// batchOut is the per-request outcome delivered back to the handler.
+type batchOut struct {
+	resp *MineResponse
+	err  error
+}
+
+// Batcher groups small synchronous /v1/mine requests arriving within a
+// max-wait window into one flush, so the server processes fewer, fatter
+// units of work: one obs span and one bookkeeping pass cover the whole
+// batch, and identical requests landing in the same window are aligned
+// onto the same single-flight computation instead of racing the result
+// cache one after another. Every request still runs under its own
+// context and receives a response byte-identical to the unbatched path.
+//
+// The collection rule is the classic channel + max-wait idiom: the
+// first request opens a window of length window; the batch flushes when
+// the window expires or when it reaches max items, whichever comes
+// first. A request cancelled while queued is answered with its context
+// error and does not hold up the rest of the batch.
+//
+// Counters (through obs to /v1/metrics):
+//
+//	batch.flushes        batches executed
+//	batch.requests       requests that went through the batcher
+//	batch.flush.window   flushes triggered by the max-wait window
+//	batch.flush.full     flushes triggered by reaching max items
+//	batch.flush.close    flushes triggered by shutdown
+//	batch.cancelled      requests cancelled while waiting in a window
+//
+// Each flush also emits a "server.batch" stage span plus an annotation
+// event carrying the batch size and flush reason.
+type Batcher struct {
+	window time.Duration
+	max    int
+	run    func(context.Context, MineRequest) (*MineResponse, error)
+	trace  *obs.Trace
+
+	in       chan *batchItem
+	stop     chan struct{}
+	stopOnce sync.Once
+	loopDone chan struct{}
+	flushes  sync.WaitGroup
+}
+
+// newBatcher starts a batcher collecting into windows of the given
+// length, flushing early at max items. window must be positive (a
+// server with batching disabled holds a nil *Batcher instead).
+func newBatcher(window time.Duration, max int, trace *obs.Trace, run func(context.Context, MineRequest) (*MineResponse, error)) *Batcher {
+	if max < 1 {
+		max = 1
+	}
+	b := &Batcher{
+		window:   window,
+		max:      max,
+		run:      run,
+		trace:    trace,
+		in:       make(chan *batchItem),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Do submits one request and waits for its response. The wait (and the
+// request's slot in the batch) is bounded by ctx; after Close, requests
+// fall through to the direct unbatched path.
+func (b *Batcher) Do(ctx context.Context, req MineRequest) (*MineResponse, error) {
+	it := &batchItem{ctx: ctx, req: req, out: make(chan batchOut, 1)}
+	select {
+	case b.in <- it:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-b.stop:
+		return b.run(ctx, req)
+	}
+	select {
+	case o := <-it.out:
+		return o.resp, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// loop is the collector: it owns the current batch and its window timer.
+func (b *Batcher) loop() {
+	defer close(b.loopDone)
+	var (
+		batch []*batchItem
+		timer *time.Timer
+		timeC <-chan time.Time
+	)
+	flush := func(reason string) {
+		if timer != nil {
+			timer.Stop()
+			timer, timeC = nil, nil
+		}
+		if len(batch) == 0 {
+			return
+		}
+		items := batch
+		batch = nil
+		b.flushes.Add(1)
+		go b.flush(items, reason)
+	}
+	for {
+		select {
+		case it := <-b.in:
+			batch = append(batch, it)
+			if len(batch) == 1 {
+				timer = time.NewTimer(b.window)
+				timeC = timer.C
+			}
+			if len(batch) >= b.max {
+				flush("full")
+			}
+		case <-timeC:
+			timer, timeC = nil, nil
+			flush("window")
+		case <-b.stop:
+			flush("close")
+			return
+		}
+	}
+}
+
+// flush executes one batch. Items run concurrently, each under its own
+// request context — identical items coalesce through the single-flight
+// group, so batching changes scheduling, never results.
+func (b *Batcher) flush(items []*batchItem, reason string) {
+	defer b.flushes.Done()
+	span := b.trace.Stage("server.batch")
+	defer span.End()
+	b.trace.Annotate("server.batch", fmt.Sprintf("size=%d reason=%s", len(items), reason))
+	b.trace.Add("batch.flushes", 1)
+	b.trace.Add("batch.requests", int64(len(items)))
+	b.trace.Add("batch.flush."+reason, 1)
+	var wg sync.WaitGroup
+	for _, it := range items {
+		if err := it.ctx.Err(); err != nil {
+			b.trace.Add("batch.cancelled", 1)
+			it.out <- batchOut{err: err}
+			continue
+		}
+		wg.Add(1)
+		go func(it *batchItem) {
+			defer wg.Done()
+			resp, err := b.run(it.ctx, it.req)
+			it.out <- batchOut{resp: resp, err: err}
+		}(it)
+	}
+	wg.Wait()
+}
+
+// Close stops the collector, flushing any partially filled window, and
+// waits for in-flight flushes. The server calls this after cancelling
+// its base context, so stuck computations are already unwinding.
+func (b *Batcher) Close() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	<-b.loopDone
+	b.flushes.Wait()
+}

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoRun is a canned batch runner that records the requests it saw.
+type echoRun struct {
+	mu   sync.Mutex
+	reqs []MineRequest
+}
+
+func (e *echoRun) run(ctx context.Context, req MineRequest) (*MineResponse, error) {
+	e.mu.Lock()
+	e.reqs = append(e.reqs, req)
+	e.mu.Unlock()
+	return &MineResponse{Dataset: req.Dataset}, nil
+}
+
+// TestBatcherSoloWindowFlush: a lone request is held for the window,
+// then flushed with reason "window" and answered.
+func TestBatcherSoloWindowFlush(t *testing.T) {
+	e := &echoRun{}
+	trace := testTrace()
+	b := newBatcher(5*time.Millisecond, 16, trace, e.run)
+	defer b.Close()
+
+	begin := time.Now()
+	resp, err := b.Do(context.Background(), MineRequest{Dataset: "d1"})
+	if err != nil || resp.Dataset != "d1" {
+		t.Fatalf("Do = %v, %v", resp, err)
+	}
+	if took := time.Since(begin); took < 4*time.Millisecond {
+		t.Errorf("solo request answered after %v, before the window closed", took)
+	}
+	c := trace.Counters()
+	if c["batch.flushes"] != 1 || c["batch.flush.window"] != 1 || c["batch.requests"] != 1 {
+		t.Errorf("counters = %v, want one window flush of one request", c)
+	}
+}
+
+// TestBatcherFullFlushesEarly: reaching max items flushes immediately —
+// no caller waits out a window that is already full.
+func TestBatcherFullFlushesEarly(t *testing.T) {
+	e := &echoRun{}
+	trace := testTrace()
+	b := newBatcher(time.Hour, 2, trace, e.run) // window effectively never fires
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Do(context.Background(), MineRequest{Dataset: fmt.Sprint(i)}); err != nil {
+				t.Errorf("Do %d: %v", i, err)
+			}
+		}(i)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("full batch never flushed despite the hour-long window")
+	}
+	c := trace.Counters()
+	if c["batch.flush.full"] != 1 || c["batch.requests"] != 2 {
+		t.Errorf("counters = %v, want one full-flush of two requests", c)
+	}
+}
+
+// TestBatcherCancelMidWindow: a request cancelled while queued returns
+// its context error promptly and is counted, without disturbing the
+// rest of the batch.
+func TestBatcherCancelMidWindow(t *testing.T) {
+	e := &echoRun{}
+	trace := testTrace()
+	b := newBatcher(time.Hour, 16, trace, e.run)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	out := make(chan error, 1)
+	go func() {
+		_, err := b.Do(ctx, MineRequest{Dataset: "doomed"})
+		out <- err
+	}()
+	time.Sleep(2 * time.Millisecond) // let it enqueue
+	cancel()
+	select {
+	case err := <-out:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Do = %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled request stayed blocked in the window")
+	}
+	// Close flushes the pending window; the dead item must be skipped,
+	// not executed.
+	b.Close()
+	e.mu.Lock()
+	ran := len(e.reqs)
+	e.mu.Unlock()
+	if ran != 0 {
+		t.Errorf("cancelled request still executed (%d runs)", ran)
+	}
+	if c := trace.Counters(); c["batch.cancelled"] != 1 {
+		t.Errorf("batch.cancelled = %d, want 1", c["batch.cancelled"])
+	}
+}
+
+// TestBatcherAfterCloseFallsThrough: once closed, Do degrades to the
+// direct path instead of failing.
+func TestBatcherAfterCloseFallsThrough(t *testing.T) {
+	e := &echoRun{}
+	b := newBatcher(time.Hour, 16, testTrace(), e.run)
+	b.Close()
+	resp, err := b.Do(context.Background(), MineRequest{Dataset: "late"})
+	if err != nil || resp.Dataset != "late" {
+		t.Fatalf("post-close Do = %v, %v", resp, err)
+	}
+}
+
+// TestBatchedMatchesUnbatched is the batcher's correctness contract:
+// the same request against a batching server and a plain server yields
+// the same response document (modulo the wall-clock timing field).
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	plain := New(Options{})
+	batched := New(Options{BatchWindow: 2 * time.Millisecond, BatchMax: 8})
+	tsPlain := httptest.NewServer(plain.Handler())
+	tsBatched := httptest.NewServer(batched.Handler())
+	defer tsPlain.Close()
+	defer tsBatched.Close()
+	defer plain.Shutdown(context.Background())
+	defer batched.Shutdown(context.Background())
+	client := tsPlain.Client()
+
+	table := []byte("r1,a,b\nr2,a,b\nr3,a,c\nr4,b,c\n")
+	mine := func(base string) MineResponse {
+		t.Helper()
+		var info datasetInfo
+		if status, raw := doJSON(t, client, "POST", base+"/v1/datasets/table", table, &info); status != http.StatusCreated {
+			t.Fatalf("upload: %d %s", status, raw)
+		}
+		req := fmt.Sprintf(`{"dataset":%q,"config":{"minSupport":0.5,"generateRules":true,"minConfidence":0.6}}`, info.Digest)
+		var resp MineResponse
+		if status, raw := doJSON(t, client, "POST", base+"/v1/mine", []byte(req), &resp); status != http.StatusOK {
+			t.Fatalf("mine: %d %s", status, raw)
+		}
+		resp.MiningMicros = 0 // wall clock, legitimately differs
+		return resp
+	}
+	got, want := mine(tsBatched.URL), mine(tsPlain.URL)
+	if !reflect.DeepEqual(got, want) {
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(want)
+		t.Errorf("batched response differs from unbatched:\n%s\nvs\n%s", gb, wb)
+	}
+	if c := batched.trace.Counters(); c["batch.requests"] != 1 {
+		t.Errorf("batched server counters = %v, want the request batched", c)
+	}
+	if c := plain.trace.Counters(); c["batch.requests"] != 0 {
+		t.Errorf("plain server ran a batcher: %v", c)
+	}
+}
+
+// TestBatcherGroupsWithinWindow: requests arriving inside one window
+// share a flush (and identical ones share a single-flight computation),
+// proven end-to-end via the counters.
+func TestBatcherGroupsWithinWindow(t *testing.T) {
+	const n = 4
+	s := New(Options{BatchWindow: 50 * time.Millisecond, BatchMax: n})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+	client := ts.Client()
+
+	var info datasetInfo
+	if status, raw := doJSON(t, client, "POST", ts.URL+"/v1/datasets/table", []byte("r1,a,b\nr2,a,b\n"), &info); status != http.StatusCreated {
+		t.Fatalf("upload: %d %s", status, raw)
+	}
+	body := fmt.Sprintf(`{"dataset":%q,"config":{"minSupport":0.5}}`, info.Digest)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if status, raw := doJSON(t, client, "POST", ts.URL+"/v1/mine", []byte(body), nil); status != http.StatusOK {
+				t.Errorf("mine: %d %s", status, raw)
+			}
+		}()
+	}
+	wg.Wait()
+	c := s.trace.Counters()
+	if c["batch.requests"] != n {
+		t.Errorf("batch.requests = %d, want %d", c["batch.requests"], n)
+	}
+	// All n were identical: however they landed in windows, exactly one
+	// computation may have run (coalescing + result cache).
+	if c["server.mine.runs"] != 1 {
+		t.Errorf("server.mine.runs = %d, want 1 for %d identical batched requests", c["server.mine.runs"], n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/api"
 	"repro/internal/core"
 	"repro/internal/mining"
 )
@@ -84,12 +85,7 @@ func (c *ResultCache) Put(key string, resp *MineResponse) {
 }
 
 // CacheStats is the cache's /metrics snapshot.
-type CacheStats struct {
-	Entries   int   `json:"entries"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
-}
+type CacheStats = api.CacheStats
 
 // Stats snapshots the cache counters.
 func (c *ResultCache) Stats() CacheStats {

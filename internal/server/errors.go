@@ -1,0 +1,110 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+	"repro/internal/obs"
+)
+
+// ridKey is the private context key for the request ID.
+type ridKey struct{}
+
+// requestIDHeader is the wire header carrying the request ID in both
+// directions: clients may send one, the server always answers with one,
+// and a front node forwards it to the peer so one ID spans the cluster.
+const requestIDHeader = "X-Request-ID"
+
+var ridFallback atomic.Uint64
+
+// newRequestID returns a fresh 16-hex-char request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to
+		// a process-local counter rather than panicking in a handler.
+		return fmt.Sprintf("rid-%d", ridFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RequestIDFromContext returns the request ID attached by the request
+// middleware ("" outside a request).
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// requestMiddleware assigns (or adopts) the X-Request-ID, echoes it on
+// the response, threads it through the request context for error
+// envelopes, emits a per-request obs annotation, and — when logw is
+// non-nil — writes one access-log line per request.
+func requestMiddleware(next http.Handler, trace *obs.Trace, logw io.Writer, logmu *sync.Mutex) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(requestIDHeader)
+		if rid == "" {
+			rid = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, rid)
+		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		trace.Annotate("server.request",
+			fmt.Sprintf("%s %s status=%d rid=%s", r.Method, r.URL.Path, rec.status, rid))
+		if logw != nil {
+			logmu.Lock()
+			fmt.Fprintf(logw, "%s %s %s %d %v rid=%s\n",
+				start.Format(time.RFC3339Nano), r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond), rid)
+			logmu.Unlock()
+		}
+	})
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+// writeError writes the uniform /v1 error envelope, echoing the
+// request's ID for cross-node correlation. 503s carry a Retry-After
+// hint so well-behaved clients and front nodes back off instead of
+// hammering a draining or saturated node.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code api.ErrorCode, format string, args ...any) {
+	if status == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", "1")
+	}
+	var rid string
+	if r != nil {
+		rid = RequestIDFromContext(r.Context())
+	}
+	writeJSON(w, status, api.ErrorEnvelope{Error: api.ErrorBody{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: rid,
+	}})
+}

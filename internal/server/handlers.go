@@ -5,50 +5,73 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"time"
 
+	"repro/api"
 	"repro/internal/buildinfo"
 	"repro/internal/dataset"
 	"repro/internal/obs"
 )
 
-// routes wires the endpoint table.
+// route is one entry of the endpoint table: the canonical /v1 pattern
+// and its deprecated unprefixed alias. The table is data so the routing
+// test can enumerate both surfaces without guessing.
+type route struct {
+	Method  string
+	V1      string
+	Legacy  string
+	handler http.HandlerFunc
+}
+
+// routeTable enumerates every endpoint once.
+func (s *Server) routeTable() []route {
+	return []route{
+		{"GET", "/v1/healthz", "/healthz", s.handleHealthz},
+		{"GET", "/v1/metrics", "/metrics", s.handleMetrics},
+		{"POST", "/v1/datasets/scene", "/datasets/scene", s.handleUploadScene},
+		{"POST", "/v1/datasets/table", "/datasets/table", s.handleUploadTable},
+		{"GET", "/v1/datasets/{digest}", "/datasets/{digest}", s.handleGetDataset},
+		{"POST", "/v1/mine", "/mine", s.handleMine},
+		{"POST", "/v1/jobs", "/jobs", s.handleSubmitJob},
+		{"GET", "/v1/jobs/{id}", "/jobs/{id}", s.handleGetJob},
+		{"DELETE", "/v1/jobs/{id}", "/jobs/{id}", s.handleCancelJob},
+	}
+}
+
+// routes wires the endpoint table: every handler under its /v1 path,
+// plus the legacy unprefixed alias answering identically but with a
+// Deprecation header pointing at the successor.
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("POST /datasets/scene", s.handleUploadScene)
-	s.mux.HandleFunc("POST /datasets/table", s.handleUploadTable)
-	s.mux.HandleFunc("GET /datasets/{digest}", s.handleGetDataset)
-	s.mux.HandleFunc("POST /mine", s.handleMine)
-	s.mux.HandleFunc("POST /jobs", s.handleSubmitJob)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
-	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
+	for _, rt := range s.routeTable() {
+		s.mux.HandleFunc(rt.Method+" "+rt.V1, rt.handler)
+		s.mux.HandleFunc(rt.Method+" "+rt.Legacy, deprecatedAlias(s.trace, rt.V1, rt.handler))
+	}
+	// Unknown paths answer with the structured envelope instead of the
+	// mux's plain-text default.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, r, http.StatusNotFound, api.CodeNotFound, "no such endpoint %s %s", r.Method, r.URL.Path)
+	})
 }
 
-// writeJSON writes v as the response body with the given status.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // the status line is already out; nothing to do on error
-}
-
-// writeError writes a JSON error envelope.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// deprecatedAlias wraps a /v1 handler for its legacy unprefixed path:
+// same behaviour, plus the Deprecation marker and a successor link.
+func deprecatedAlias(trace *obs.Trace, v1Path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+v1Path+`>; rel="successor-version"`)
+		trace.Add("server.legacy.requests", 1)
+		h(w, r)
+	}
 }
 
 // rejectDraining writes the shutdown 503 and reports whether it did.
-func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+func (s *Server) rejectDraining(w http.ResponseWriter, r *http.Request) bool {
 	if !s.Draining() {
 		return false
 	}
-	w.Header().Set("Retry-After", "1")
-	writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	writeError(w, r, http.StatusServiceUnavailable, api.CodeDraining, "server is shutting down")
 	return true
 }
 
@@ -58,9 +81,9 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			writeError(w, r, http.StatusRequestEntityTooLarge, api.CodeTooLarge, "body exceeds %d bytes", tooLarge.Limit)
 		} else {
-			writeError(w, http.StatusBadRequest, "reading body: %v", err)
+			writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "reading body: %v", err)
 		}
 		return nil, false
 	}
@@ -68,12 +91,7 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 }
 
 // datasetInfo is the upload / metadata response.
-type datasetInfo struct {
-	Digest string      `json:"digest"`
-	Kind   DatasetKind `json:"kind"`
-	Rows   int         `json:"rows"`
-	Bytes  int64       `json:"bytes"`
-}
+type datasetInfo = api.DatasetInfo
 
 func infoOf(sd *StoredDataset) datasetInfo {
 	return datasetInfo{Digest: sd.Digest, Kind: sd.Kind, Rows: sd.Rows, Bytes: sd.Bytes}
@@ -81,7 +99,7 @@ func infoOf(sd *StoredDataset) datasetInfo {
 
 // handleUploadScene stores a WKT-JSON scene (see dataset.WriteJSON).
 func (s *Server) handleUploadScene(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w, r) {
 		return
 	}
 	body, ok := s.readBody(w, r)
@@ -90,11 +108,11 @@ func (s *Server) handleUploadScene(w http.ResponseWriter, r *http.Request) {
 	}
 	d, err := dataset.ReadJSON(bytes.NewReader(body))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
 	if err := d.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
 	s.trace.Add("server.datasets.scene_uploads", 1)
@@ -103,7 +121,7 @@ func (s *Server) handleUploadScene(w http.ResponseWriter, r *http.Request) {
 
 // handleUploadTable stores a transaction-table CSV (refID,item,...).
 func (s *Server) handleUploadTable(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w, r) {
 		return
 	}
 	body, ok := s.readBody(w, r)
@@ -112,11 +130,11 @@ func (s *Server) handleUploadTable(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := dataset.ReadTableCSV(bytes.NewReader(body))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
 	if t.Len() == 0 {
-		writeError(w, http.StatusBadRequest, "table has no transactions")
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "table has no transactions")
 		return
 	}
 	s.trace.Add("server.datasets.table_uploads", 1)
@@ -127,7 +145,7 @@ func (s *Server) handleUploadTable(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	sd, ok := s.store.Get(r.PathValue("digest"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("digest"))
+		writeError(w, r, http.StatusNotFound, api.CodeNotFound, "unknown dataset %q", r.PathValue("digest"))
 		return
 	}
 	writeJSON(w, http.StatusOK, infoOf(sd))
@@ -143,23 +161,24 @@ func (s *Server) decodeMineRequest(w http.ResponseWriter, r *http.Request) (Mine
 	dec.DisallowUnknownFields()
 	var req MineRequest
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "decoding request: %v", err)
 		return MineRequest{}, false
 	}
 	if req.Dataset == "" {
-		writeError(w, http.StatusBadRequest, "request needs a %q digest from a dataset upload", "dataset")
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "request needs a %q digest from a dataset upload", "dataset")
 		return MineRequest{}, false
 	}
 	if req.Config.MinSupport <= 0 || req.Config.MinSupport > 1 {
-		writeError(w, http.StatusBadRequest, "minSupport must be in (0, 1]")
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "minSupport must be in (0, 1]")
 		return MineRequest{}, false
 	}
 	return req, true
 }
 
-// handleMine mines synchronously under the request deadline.
+// handleMine mines synchronously under the request deadline, routing
+// through the micro-batcher when one is configured.
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w, r) {
 		return
 	}
 	req, ok := s.decodeMineRequest(w, r)
@@ -168,34 +187,40 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req))
 	defer cancel()
-	resp, err := s.mine(ctx, req)
+	var resp *MineResponse
+	var err error
+	if s.batcher != nil {
+		resp, err = s.batcher.Do(ctx, req)
+	} else {
+		resp, err = s.mine(ctx, req)
+	}
 	if err != nil {
-		s.writeMineError(w, err)
+		s.writeMineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// writeMineError maps a mining failure to a status code.
-func (s *Server) writeMineError(w http.ResponseWriter, err error) {
+// writeMineError maps a mining failure to a status code and error code.
+func (s *Server) writeMineError(w http.ResponseWriter, r *http.Request, err error) {
 	var unknown errUnknownDataset
 	switch {
 	case errors.As(err, &unknown):
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeError(w, r, http.StatusNotFound, api.CodeNotFound, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "mining exceeded the request deadline")
+		writeError(w, r, http.StatusGatewayTimeout, api.CodeTimeout, "mining exceeded the request deadline")
 	case errors.Is(err, context.Canceled):
-		writeError(w, http.StatusServiceUnavailable, "mining was cancelled")
+		writeError(w, r, http.StatusServiceUnavailable, api.CodeCancelled, "mining was cancelled")
 	default:
 		// Remaining failures are configuration/data errors from the
 		// pipeline (bad minsup, counting/engine mismatch, ...).
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, r, http.StatusUnprocessableEntity, api.CodeConfigInvalid, "%v", err)
 	}
 }
 
 // handleSubmitJob enqueues an async mining job.
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w, r) {
 		return
 	}
 	req, ok := s.decodeMineRequest(w, r)
@@ -203,26 +228,24 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if _, ok := s.store.Get(req.Dataset); !ok {
-		writeError(w, http.StatusNotFound, "unknown dataset %q (upload it first)", req.Dataset)
+		writeError(w, r, http.StatusNotFound, api.CodeNotFound, "unknown dataset %q (upload it first)", req.Dataset)
 		return
 	}
 	j, err := s.jobs.Submit(req)
 	switch {
 	case errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, r, http.StatusServiceUnavailable, api.CodeDraining, "%v", err)
 		return
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		writeError(w, r, http.StatusServiceUnavailable, api.CodeQueueFull, "%v", err)
 		return
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, api.CodeInternal, "%v", err)
 		return
 	}
 	s.trace.Add("server.jobs.submitted", 1)
 	st := s.jobs.Status(j)
-	w.Header().Set("Location", "/jobs/"+st.ID)
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
 	writeJSON(w, http.StatusAccepted, st)
 }
 
@@ -230,7 +253,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, api.CodeNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.jobs.Status(j))
@@ -240,7 +263,7 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	state, ok := s.jobs.Cancel(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, api.CodeNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	s.trace.Add("server.jobs.cancel_requests", 1)
@@ -248,11 +271,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthz is the liveness document.
-type healthz struct {
-	Status       string `json:"status"`
-	Version      string `json:"version"`
-	UptimeMillis int64  `json:"uptimeMillis"`
-}
+type healthz = api.Health
 
 // handleHealthz reports liveness and the build version. A draining
 // server answers "draining" with 503 so load balancers stop routing.
@@ -261,6 +280,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:       "ok",
 		Version:      buildinfo.String(),
 		UptimeMillis: time.Since(s.started).Milliseconds(),
+		Role:         "node",
 	}
 	status := http.StatusOK
 	if s.Draining() {
@@ -271,14 +291,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // ServerMetrics is the /metrics document: the obs snapshot (stage
-// spans, mining passes, counters — including the eclat worker fan-out
-// counters) plus the service-level store/cache/job statistics.
+// spans, mining passes, counters — including the coalesce.*, batch.*
+// and eclat worker fan-out counters) plus the service-level
+// store/cache/job statistics.
 type ServerMetrics struct {
-	Obs          obs.Metrics `json:"obs"`
-	Store        StoreStats  `json:"store"`
-	Cache        CacheStats  `json:"cache"`
-	Jobs         JobStats    `json:"jobs"`
-	UptimeMillis int64       `json:"uptimeMillis"`
+	Obs          obs.Metrics    `json:"obs"`
+	Store        api.StoreStats `json:"store"`
+	Cache        api.CacheStats `json:"cache"`
+	Jobs         api.JobStats   `json:"jobs"`
+	UptimeMillis int64          `json:"uptimeMillis"`
 }
 
 // Metrics snapshots the server state (also used by tests).

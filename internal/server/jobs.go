@@ -6,19 +6,21 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/api"
 )
 
 // JobState is the lifecycle state of an async mining job.
-type JobState string
+type JobState = api.JobState
 
 // Job states. Queued and running jobs are live; the other states are
 // terminal.
 const (
-	JobQueued    JobState = "queued"
-	JobRunning   JobState = "running"
-	JobDone      JobState = "done"
-	JobFailed    JobState = "failed"
-	JobCancelled JobState = "cancelled"
+	JobQueued    = api.JobQueued
+	JobRunning   = api.JobRunning
+	JobDone      = api.JobDone
+	JobFailed    = api.JobFailed
+	JobCancelled = api.JobCancelled
 )
 
 // Job manager submission errors; handlers map them to 503.
@@ -49,17 +51,8 @@ type Job struct {
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// JobStatus is the wire form of a job (GET /jobs/{id}).
-type JobStatus struct {
-	ID         string        `json:"id"`
-	State      JobState      `json:"state"`
-	Dataset    string        `json:"dataset"`
-	CreatedAt  time.Time     `json:"createdAt"`
-	StartedAt  *time.Time    `json:"startedAt,omitempty"`
-	FinishedAt *time.Time    `json:"finishedAt,omitempty"`
-	Error      string        `json:"error,omitempty"`
-	Result     *MineResponse `json:"result,omitempty"`
-}
+// JobStatus is the wire form of a job (GET /v1/jobs/{id}).
+type JobStatus = api.JobStatus
 
 // JobManager runs submitted mining jobs on a bounded worker pool fed by
 // a bounded submission queue. Jobs are cancellable while queued or
@@ -70,12 +63,13 @@ type JobManager struct {
 	queue   chan *Job
 	wg      sync.WaitGroup
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	nextID  uint64
-	closed  bool
-	counts  map[JobState]int64 // terminal-state tallies + submissions
-	submits int64
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	idPrefix string // random per-process prefix: IDs stay unique across a cluster
+	nextID   uint64
+	closed   bool
+	counts   map[JobState]int64 // terminal-state tallies + submissions
+	submits  int64
 }
 
 // NewJobManager starts workers goroutines pulling from a queue of
@@ -89,11 +83,12 @@ func NewJobManager(baseCtx context.Context, workers, queueCap int, run func(cont
 		queueCap = 1
 	}
 	m := &JobManager{
-		run:     run,
-		baseCtx: baseCtx,
-		queue:   make(chan *Job, queueCap),
-		jobs:    make(map[string]*Job),
-		counts:  make(map[JobState]int64),
+		run:      run,
+		baseCtx:  baseCtx,
+		queue:    make(chan *Job, queueCap),
+		jobs:     make(map[string]*Job),
+		idPrefix: newRequestID()[:6],
+		counts:   make(map[JobState]int64),
 	}
 	m.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -113,7 +108,7 @@ func (m *JobManager) Submit(req MineRequest) (*Job, error) {
 	}
 	m.nextID++
 	j := &Job{
-		id:      fmt.Sprintf("j%08d", m.nextID),
+		id:      fmt.Sprintf("j%s-%08d", m.idPrefix, m.nextID),
 		req:     req,
 		state:   JobQueued,
 		created: time.Now(),
@@ -188,14 +183,7 @@ func (m *JobManager) Status(j *Job) JobStatus {
 }
 
 // JobStats is the manager's /metrics snapshot.
-type JobStats struct {
-	Submitted int64 `json:"submitted"`
-	Queued    int   `json:"queued"`
-	Running   int   `json:"running"`
-	Done      int64 `json:"done"`
-	Failed    int64 `json:"failed"`
-	Cancelled int64 `json:"cancelled"`
-}
+type JobStats = api.JobStats
 
 // Stats snapshots the job counters.
 func (m *JobManager) Stats() JobStats {

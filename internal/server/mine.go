@@ -4,56 +4,24 @@ import (
 	"context"
 	"fmt"
 
+	"repro/api"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
 
-// MineRequest is the body of POST /mine and POST /jobs: which stored
-// dataset to mine and the full pipeline configuration. Config is
-// core.Config's JSON form — algorithm, minSupport, dependencies,
-// counting, parallelism, postFilter, rules, and (for scenes) the
-// extraction options.
-type MineRequest struct {
-	// Dataset is the digest returned by a dataset upload.
-	Dataset string `json:"dataset"`
-	// Config is the pipeline configuration.
-	Config core.Config `json:"config"`
-	// TimeoutMillis bounds this request's wall time; 0 uses the server
-	// default.
-	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
-}
-
-// MineResponse is the mining result: the frequent itemsets (all sizes),
-// optional association rules, and the run's headline numbers.
-type MineResponse struct {
-	Algorithm         string          `json:"algorithm"`
-	Dataset           string          `json:"dataset"`
-	Transactions      int             `json:"transactions"`
-	MinSupportCount   int             `json:"minSupportCount"`
-	PrunedDeps        int             `json:"prunedDependencies"`
-	PrunedSameFeature int             `json:"prunedSameFeature"`
-	MiningMicros      int64           `json:"miningMicros"`
-	Frequent          []ItemsetResult `json:"frequent"`
-	Rules             []RuleResult    `json:"rules,omitempty"`
-	// Cached reports whether this response was served from the result
-	// cache without re-mining.
-	Cached bool `json:"cached,omitempty"`
-}
-
-// ItemsetResult is one frequent itemset with its absolute support.
-type ItemsetResult struct {
-	Items   []string `json:"items"`
-	Support int      `json:"support"`
-}
-
-// RuleResult is one association rule.
-type RuleResult struct {
-	Antecedent []string `json:"antecedent"`
-	Consequent []string `json:"consequent"`
-	Support    float64  `json:"support"`
-	Confidence float64  `json:"confidence"`
-	Lift       float64  `json:"lift"`
-}
+// The wire documents are defined once in repro/api (shared with the
+// typed client and the multi-node proxy, so the surfaces cannot drift)
+// and aliased here under their historical names.
+type (
+	// MineRequest is the body of POST /v1/mine and POST /v1/jobs.
+	MineRequest = api.MineRequest
+	// MineResponse is the mining result document.
+	MineResponse = api.MineResponse
+	// ItemsetResult is one frequent itemset with its absolute support.
+	ItemsetResult = api.ItemsetResult
+	// RuleResult is one association rule.
+	RuleResult = api.RuleResult
+)
 
 // errUnknownDataset is returned (wrapped) when a request names a digest
 // the store does not hold; handlers map it to 404.
@@ -64,9 +32,10 @@ func (e errUnknownDataset) Error() string {
 }
 
 // mine resolves the request's dataset, consults the result cache, and
-// otherwise runs the pipeline under ctx with the server's trace
-// attached. Identical (dataset, canonical config) requests after the
-// first are cache hits and never re-mine.
+// otherwise joins the single-flight group for the request's cache key:
+// concurrent identical (dataset, canonical config) requests share one
+// computation and one cache fill, and identical requests after the
+// first completes are cache hits that never re-mine.
 func (s *Server) mine(ctx context.Context, req MineRequest) (*MineResponse, error) {
 	ds, ok := s.store.Get(req.Dataset)
 	if !ok {
@@ -81,6 +50,18 @@ func (s *Server) mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 		return resp, nil
 	}
 	s.trace.Add("server.cache.misses", 1)
+	return s.flights.do(ctx, s.baseCtx, key, func(runCtx context.Context) (*MineResponse, error) {
+		return s.compute(runCtx, ds, key, req)
+	})
+}
+
+// compute runs the pipeline once for a cache-missing key and fills the
+// result cache. At most one compute per key is in flight at any time
+// (enforced by the flight group); the server.mine.runs counter tallies
+// real pipeline executions, which coalescing tests pin against the
+// number of concurrent requests served.
+func (s *Server) compute(ctx context.Context, ds *StoredDataset, key string, req MineRequest) (*MineResponse, error) {
+	s.trace.Add("server.mine.runs", 1)
 	if s.mineHook != nil {
 		// Test seam: lets tests hold a "running" mine open deterministically.
 		if err := s.mineHook(ctx); err != nil {
@@ -89,6 +70,7 @@ func (s *Server) mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 	}
 	ctx = obs.WithTrace(ctx, s.trace)
 	var out *core.Outcome
+	var err error
 	if ds.Kind == KindScene {
 		out, err = core.RunContext(ctx, ds.Scene, req.Config)
 	} else {

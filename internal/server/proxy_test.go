@@ -1,0 +1,288 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// cluster is a 3-node test fixture: three real mining servers behind
+// one front.
+type cluster struct {
+	nodes   []*Server
+	nodeTS  []*httptest.Server
+	front   *Proxy
+	frontTS *httptest.Server
+}
+
+func newCluster(t *testing.T, replicas int) *cluster {
+	t.Helper()
+	c := &cluster{}
+	peers := make([]string, 3)
+	for i := 0; i < 3; i++ {
+		s := New(Options{Workers: 2})
+		ts := httptest.NewServer(s.Handler())
+		c.nodes = append(c.nodes, s)
+		c.nodeTS = append(c.nodeTS, ts)
+		peers[i] = ts.URL
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { s.Shutdown(context.Background()) })
+	}
+	front, err := NewProxy(ProxyOptions{Peers: peers, Replicas: replicas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.front = front
+	c.frontTS = httptest.NewServer(front.Handler())
+	t.Cleanup(c.frontTS.Close)
+	return c
+}
+
+func sampleSceneJSON(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := dataset.PortoAlegreScene().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// normalizeMicros zeroes the wall-clock field, the one part of a mining
+// response that legitimately differs between two executions.
+func normalizeMicros(r *api.MineResponse) *api.MineResponse {
+	cp := *r
+	cp.MiningMicros = 0
+	return &cp
+}
+
+// TestProxyFrontMatchesDirect is the multi-node acceptance test: the
+// same upload + mine through the front yields a response identical to a
+// direct single-node run (modulo wall-clock timing), and the upload is
+// replicated to R peers.
+func TestProxyFrontMatchesDirect(t *testing.T) {
+	c := newCluster(t, 2)
+	ctx := context.Background()
+	frontC := client.New(c.frontTS.URL)
+	scene := sampleSceneJSON(t)
+
+	// Direct reference run against a standalone node.
+	direct := New(Options{})
+	directTS := httptest.NewServer(direct.Handler())
+	defer directTS.Close()
+	defer direct.Shutdown(ctx)
+	directC := client.New(directTS.URL)
+
+	info, err := frontC.UploadDataset(ctx, api.KindScene, scene)
+	if err != nil {
+		t.Fatalf("upload via front: %v", err)
+	}
+	wantInfo, err := directC.UploadDataset(ctx, api.KindScene, scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info != wantInfo {
+		t.Fatalf("front upload document %+v differs from direct %+v", info, wantInfo)
+	}
+
+	// The upload landed on exactly the digest's first R ring candidates.
+	cands := c.front.ring.candidates(info.Digest)
+	holders := 0
+	for i, ts := range c.nodeTS {
+		_, has := c.nodes[i].store.Get(info.Digest)
+		isReplica := ts.URL == cands[0] || ts.URL == cands[1]
+		if has != isReplica {
+			t.Errorf("peer %s holds dataset = %v, want %v (candidates %v)", ts.URL, has, isReplica, cands)
+		}
+		if has {
+			holders++
+		}
+	}
+	if holders != 2 {
+		t.Errorf("dataset on %d peers, want 2 replicas", holders)
+	}
+
+	req := api.MineRequest{Dataset: info.Digest, Config: core.Config{
+		Algorithm: core.AlgEclatKCPlus, MinSupport: 0.3, GenerateRules: true, MinConfidence: 0.7,
+	}}
+	got, err := frontC.Mine(ctx, req)
+	if err != nil {
+		t.Fatalf("mine via front: %v", err)
+	}
+	want, err := directC.Mine(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := json.Marshal(normalizeMicros(got))
+	wb, _ := json.Marshal(normalizeMicros(want))
+	if !bytes.Equal(gb, wb) {
+		t.Errorf("front response differs from direct:\n%s\nvs\n%s", gb, wb)
+	}
+
+	// GET dataset metadata routes too.
+	back, err := frontC.GetDataset(ctx, info.Digest)
+	if err != nil || back != info {
+		t.Errorf("GetDataset via front = %+v, %v", back, err)
+	}
+
+	// The front's health and metrics identify it as a router.
+	h, err := frontC.Health(ctx)
+	if err != nil || h.Role != "front" || h.Peers != 3 {
+		t.Errorf("front health = %+v, %v", h, err)
+	}
+	m, err := frontC.Metrics(ctx)
+	if err != nil || m.Ring == nil {
+		t.Fatalf("front metrics = %+v, %v", m, err)
+	}
+	if m.Ring.Replicas != 2 || len(m.Ring.Peers) != 3 || m.Ring.Forwarded == 0 {
+		t.Errorf("ring stats = %+v", m.Ring)
+	}
+}
+
+// TestProxyJobLifecycle: async jobs submitted through the front are
+// routed back to their owning node for polling and cancellation.
+func TestProxyJobLifecycle(t *testing.T) {
+	c := newCluster(t, 2)
+	ctx := context.Background()
+	frontC := client.New(c.frontTS.URL)
+
+	info, err := frontC.UploadDataset(ctx, api.KindTable, []byte("r1,a,b\nr2,a,b\nr3,a,c\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := api.MineRequest{Dataset: info.Digest, Config: core.Config{MinSupport: 0.5}}
+	st, err := frontC.SubmitJob(ctx, req)
+	if err != nil {
+		t.Fatalf("submit via front: %v", err)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	final, err := frontC.WaitJob(waitCtx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait via front: %v", err)
+	}
+	if final.State != api.JobDone || final.Result == nil {
+		t.Fatalf("job ended %q (%s), want done with result", final.State, final.Error)
+	}
+	if final.Result.Transactions != 3 {
+		t.Errorf("result transactions = %d, want 3", final.Result.Transactions)
+	}
+	// The front tracked the routing.
+	if m := c.front.Metrics(); m.Ring.TrackedJobs != 1 {
+		t.Errorf("tracked jobs = %d, want 1", m.Ring.TrackedJobs)
+	}
+	// Unknown job IDs 404 with the envelope, not a routing panic.
+	if _, err := frontC.PollJob(ctx, "j999999-00000001"); !client.IsNotFound(err) {
+		t.Errorf("unknown job poll err = %v, want not_found", err)
+	}
+}
+
+// TestProxyFailover kills the primary replica of a dataset mid-test and
+// requires the front to fail over to the surviving replica: same
+// results, Failovers counted, no client-visible error.
+func TestProxyFailover(t *testing.T) {
+	c := newCluster(t, 2)
+	ctx := context.Background()
+	frontC := client.New(c.frontTS.URL)
+
+	info, err := frontC.UploadDataset(ctx, api.KindTable, []byte("r1,a,b\nr2,a,b\nr3,b,c\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := api.MineRequest{Dataset: info.Digest, Config: core.Config{MinSupport: 0.5}}
+	before, err := frontC.Mine(ctx, req)
+	if err != nil {
+		t.Fatalf("mine before failover: %v", err)
+	}
+
+	// Kill the digest's primary peer.
+	cands := c.front.ring.candidates(info.Digest)
+	for i, ts := range c.nodeTS {
+		if ts.URL == cands[0] {
+			ts.Close()
+			c.nodes[i].Shutdown(ctx)
+		}
+	}
+
+	after, err := frontC.Mine(ctx, req)
+	if err != nil {
+		t.Fatalf("mine after killing the primary: %v", err)
+	}
+	gb, _ := json.Marshal(normalizeMicros(after))
+	wb, _ := json.Marshal(normalizeMicros(before))
+	// The surviving replica mined independently; only the timing (and
+	// its own cache state) may differ.
+	afterN, beforeN := *normalizeMicros(after), *normalizeMicros(before)
+	afterN.Cached, beforeN.Cached = false, false
+	gb, _ = json.Marshal(afterN)
+	wb, _ = json.Marshal(beforeN)
+	if !bytes.Equal(gb, wb) {
+		t.Errorf("failover response differs:\n%s\nvs\n%s", gb, wb)
+	}
+	m := c.front.Metrics()
+	if m.Ring.Failovers == 0 {
+		t.Error("failover not counted in ring stats")
+	}
+	if m.Ring.Errors != 0 {
+		t.Errorf("ring errors = %d, want 0 (a replica survived)", m.Ring.Errors)
+	}
+
+	// With BOTH replicas dead the client gets a typed 502.
+	for i, ts := range c.nodeTS {
+		if ts.URL == cands[1] {
+			ts.Close()
+			c.nodes[i].Shutdown(ctx)
+		}
+	}
+	// The third node never stored the dataset: expect upstream or
+	// not_found depending on ring order — but never a transport error.
+	_, err = frontC.Mine(ctx, req)
+	if err == nil {
+		t.Fatal("mine with both replicas dead succeeded")
+	}
+	if code := client.ErrCode(err); code != api.CodeUpstream && code != api.CodeNotFound {
+		t.Errorf("err = %v (code %q), want upstream_unavailable or not_found", err, code)
+	}
+}
+
+// TestProxyDraining: a draining front rejects new work with the
+// envelope 503 + Retry-After while its peers stay untouched.
+func TestProxyDraining(t *testing.T) {
+	c := newCluster(t, 2)
+	ctx := context.Background()
+	if err := c.front.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	frontC := client.New(c.frontTS.URL)
+	_, err := frontC.UploadDataset(ctx, api.KindTable, []byte("r1,a,b\n"))
+	if client.ErrCode(err) != api.CodeDraining {
+		t.Fatalf("upload on draining front err = %v, want draining", err)
+	}
+	var ae *client.APIError
+	if !asAPIErr(err, &ae) || ae.RetryAfter == 0 {
+		t.Errorf("draining 503 missing Retry-After (err %v)", err)
+	}
+	h, err := frontC.Health(ctx)
+	if err != nil || h.Status != "draining" {
+		t.Errorf("draining front health = %+v, %v", h, err)
+	}
+	// Peers still answer directly.
+	if _, err := client.New(c.nodeTS[0].URL).Health(ctx); err != nil {
+		t.Errorf("peer unhealthy after front drain: %v", err)
+	}
+}
+
+func asAPIErr(err error, target **client.APIError) bool {
+	ae, ok := err.(*client.APIError)
+	if ok {
+		*target = ae
+	}
+	return ok
+}

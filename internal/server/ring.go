@@ -1,0 +1,80 @@
+package server
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringVnodes is the number of virtual nodes per peer. 128 points per
+// peer keeps the per-peer share of the key space close to uniform for
+// small clusters while the ring stays tiny (a sorted slice
+// binary-searched per request).
+const ringVnodes = 128
+
+// ring is a consistent-hash ring over peer base URLs. Datasets are
+// immutable and content-addressed by SHA-256 digest, so hashing the
+// digest gives free, stable shard routing: the same digest always maps
+// to the same replica set, and adding or removing one peer only remaps
+// the keys that peer owned.
+type ring struct {
+	peers  []string
+	points []ringPoint // sorted ascending by hash
+}
+
+// ringPoint is one virtual node.
+type ringPoint struct {
+	hash uint64
+	peer int // index into peers
+}
+
+// newRing builds the ring for the given peer base URLs (order is
+// irrelevant to placement; hashing is by URL string).
+func newRing(peers []string) *ring {
+	r := &ring{peers: peers, points: make([]ringPoint, 0, len(peers)*ringVnodes)}
+	for i, p := range peers {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(p + "#" + strconv.Itoa(v)), peer: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// ringHash is 64-bit FNV-1a with a splitmix64 finalizer — stable across
+// processes and platforms, which multi-node routing requires (every
+// front must agree). The finalizer matters: raw FNV of near-identical
+// strings ("url#0", "url#1", ...) clusters on the ring and skews peer
+// shares badly; the avalanche step spreads the vnode points evenly.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// candidates returns every peer exactly once, in ring order starting at
+// key's position: the first R entries are the key's replica set, the
+// rest the failover tail a front node walks when replicas are down.
+func (r *ring) candidates(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	out := make([]string, 0, len(r.peers))
+	seen := make([]bool, len(r.peers))
+	for n := 0; n < len(r.points) && len(out) < len(r.peers); n++ {
+		pt := r.points[(i+n)%len(r.points)]
+		if !seen[pt.peer] {
+			seen[pt.peer] = true
+			out = append(out, r.peers[pt.peer])
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingCandidatesDeterministicAndComplete: the same peers and key
+// always yield the same candidate order, and every peer appears exactly
+// once.
+func TestRingCandidatesDeterministicAndComplete(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r1, r2 := newRing(peers), newRing(peers)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("digest-%d", i)
+		c1, c2 := r1.candidates(key), r2.candidates(key)
+		if !reflect.DeepEqual(c1, c2) {
+			t.Fatalf("key %q: rings disagree: %v vs %v", key, c1, c2)
+		}
+		if len(c1) != len(peers) {
+			t.Fatalf("key %q: %d candidates, want all %d peers", key, len(c1), len(peers))
+		}
+		seen := map[string]bool{}
+		for _, p := range c1 {
+			if seen[p] {
+				t.Fatalf("key %q: peer %s listed twice", key, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestRingBalance: with 64 vnodes per peer, no peer's primary share of
+// the key space may collapse (each of 3 peers should own a healthy
+// fraction of 3000 keys).
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(peers)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.candidates(fmt.Sprintf("%064d", i))[0]]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / keys
+		if share < 0.15 {
+			t.Errorf("peer %s owns only %.1f%% of keys (counts %v)", p, 100*share, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one peer must not move keys whose
+// primary was a surviving peer — the consistency property that makes
+// digest routing safe across cluster resizes.
+func TestRingMinimalDisruption(t *testing.T) {
+	all := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	without := []string{"http://a:1", "http://b:1", "http://d:1"} // c removed
+	rAll, rLess := newRing(all), newRing(without)
+	moved := 0
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("digest-%d", i)
+		before := rAll.candidates(key)[0]
+		after := rLess.candidates(key)[0]
+		if before == "http://c:1" {
+			continue // its keys must move somewhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys with surviving primaries were remapped", moved)
+	}
+}
+
+// TestRingFailoverOrder: for any key, dropping the primary promotes
+// exactly the next candidate — the failover walk a front node performs.
+func TestRingFailoverOrder(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(peers)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("digest-%d", i)
+		cands := r.candidates(key)
+		survivors := []string{}
+		for _, p := range peers {
+			if p != cands[0] {
+				survivors = append(survivors, p)
+			}
+		}
+		if got := newRing(survivors).candidates(key)[0]; got != cands[1] {
+			t.Fatalf("key %q: after losing %s, primary = %s, want next candidate %s",
+				key, cands[0], got, cands[1])
+		}
+	}
+}

@@ -1,28 +1,38 @@
 // Package server implements qsrmined: the HTTP/JSON mining service over
 // the qsrmine pipeline. It offers content-addressed dataset uploads
 // (WKT-JSON scenes, transaction-table CSVs) held in an LRU-capped
-// in-memory store, synchronous mining, an async job manager with a
-// bounded worker pool and cancellation wired to context cancellation
-// mid-DFS, a result cache keyed by (dataset digest, canonical config),
-// and health/metrics endpoints snapshotting the obs collector.
+// in-memory store, synchronous mining with single-flight coalescing and
+// optional micro-batching, an async job manager with a bounded worker
+// pool and cancellation wired to context cancellation mid-DFS, a result
+// cache keyed by (dataset digest, canonical config), and health/metrics
+// endpoints snapshotting the obs collector. A separate Proxy type turns
+// a node started with peers into a front router that consistent-hashes
+// requests across a cluster by dataset digest.
 //
-// Endpoints:
+// Endpoints (canonical under /v1; the unprefixed legacy paths answer
+// identically with a Deprecation header):
 //
-//	POST   /datasets/scene   upload a WKT-JSON scene       -> {digest,...}
-//	POST   /datasets/table   upload a transaction CSV      -> {digest,...}
-//	GET    /datasets/{digest} dataset metadata
-//	POST   /mine             mine synchronously            -> MineResponse
-//	POST   /jobs             submit an async mining job    -> JobStatus (202)
-//	GET    /jobs/{id}        poll job status/result
-//	DELETE /jobs/{id}        cancel a queued or running job
-//	GET    /healthz          liveness + version
-//	GET    /metrics          obs snapshot + store/cache/job stats
+//	POST   /v1/datasets/scene    upload a WKT-JSON scene      -> {digest,...}
+//	POST   /v1/datasets/table    upload a transaction CSV     -> {digest,...}
+//	GET    /v1/datasets/{digest} dataset metadata
+//	POST   /v1/mine              mine synchronously           -> MineResponse
+//	POST   /v1/jobs              submit an async mining job   -> JobStatus (202)
+//	GET    /v1/jobs/{id}         poll job status/result
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/healthz           liveness + version
+//	GET    /v1/metrics           obs snapshot + store/cache/job stats
+//
+// Errors are the uniform JSON envelope
+// {"error":{"code","message","requestId"}} with machine-readable codes
+// (repro/api.ErrorCode); every response carries an X-Request-ID.
 package server
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -49,6 +59,16 @@ type Options struct {
 	DefaultTimeout time.Duration
 	// EventLimit bounds the obs event ring (default 4096).
 	EventLimit int
+	// BatchWindow enables the sync-mine micro-batcher: requests arriving
+	// within this window are flushed as one batch. 0 (the default)
+	// disables batching.
+	BatchWindow time.Duration
+	// BatchMax caps one batch; a full batch flushes before the window
+	// expires (default 16; only meaningful with BatchWindow > 0).
+	BatchMax int
+	// AccessLog, when non-nil, receives one line per HTTP request
+	// (time, method, path, status, duration, request ID).
+	AccessLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +96,9 @@ func (o Options) withDefaults() Options {
 	if o.EventLimit <= 0 {
 		o.EventLimit = 4096
 	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 16
+	}
 	return o
 }
 
@@ -86,6 +109,8 @@ type Server struct {
 	store     *Store
 	cache     *ResultCache
 	jobs      *JobManager
+	flights   *flightGroup
+	batcher   *Batcher // nil when batching is disabled
 	trace     *obs.Trace
 	collector *obs.Collector
 	mux       *http.ServeMux
@@ -93,6 +118,7 @@ type Server struct {
 	draining  atomic.Bool
 	baseCtx   context.Context
 	stopBase  context.CancelFunc
+	logmu     sync.Mutex
 
 	// mineHook is a test seam invoked (when non-nil) before a cache-miss
 	// mine runs; returning an error aborts the run with it.
@@ -111,15 +137,22 @@ func New(opts Options) *Server {
 		collector: collector,
 		started:   time.Now(),
 	}
+	s.flights = newFlightGroup(s.trace)
 	s.baseCtx, s.stopBase = context.WithCancel(context.Background())
 	s.jobs = NewJobManager(s.baseCtx, opts.Workers, opts.QueueCap, s.runJob)
+	if opts.BatchWindow > 0 {
+		s.batcher = newBatcher(opts.BatchWindow, opts.BatchMax, s.trace, s.mine)
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the endpoint mux wrapped
+// in the request-ID / access-log middleware.
+func (s *Server) Handler() http.Handler {
+	return requestMiddleware(s.mux, s.trace, s.opts.AccessLog, &s.logmu)
+}
 
 // runJob executes one async job under the request (or default) timeout.
 func (s *Server) runJob(ctx context.Context, req MineRequest) (*MineResponse, error) {
@@ -144,11 +177,16 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // running jobs are drained, and when ctx expires first the remaining
 // jobs are cancelled through their contexts — the mining engines
 // observe cancellation mid-DFS, so even that path returns promptly.
+// Cancelling the base context also unwinds any detached single-flight
+// computations, after which the batcher (if any) flushes and stops.
 // The HTTP listener itself is owned by the caller (cmd/qsrmined closes
 // it around this call). Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	err := s.jobs.Shutdown(ctx)
 	s.stopBase()
+	if s.batcher != nil {
+		s.batcher.Close()
+	}
 	return err
 }

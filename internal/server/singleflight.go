@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// flight is one in-progress mining computation shared by every
+// concurrent request for the same cache key. The first request (the
+// leader) starts the computation; later identical requests (followers)
+// join as waiters. resp/err are written once, before done is closed.
+type flight struct {
+	done    chan struct{}
+	resp    *MineResponse
+	err     error
+	waiters int                // guarded by the group's mu
+	cancel  context.CancelFunc // cancels the detached computation
+}
+
+// flightGroup implements single-flight coalescing over result-cache
+// keys: N concurrent requests for the same (dataset digest, canonical
+// config) share exactly one computation and one cache fill. Counters:
+//
+//	coalesce.leaders    computations started (one per key in flight)
+//	coalesce.hits       requests that joined an existing flight
+//	coalesce.abandoned  computations cancelled because every waiter left
+//
+// The computation runs detached from any single request's cancellation
+// (a follower — or the leader — disconnecting must not fail the rest),
+// but inherits the leader's deadline so a coalesced flight cannot
+// outlive the timeout budget it was admitted under.
+type flightGroup struct {
+	trace *obs.Trace
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup(trace *obs.Trace) *flightGroup {
+	return &flightGroup{trace: trace, flights: make(map[string]*flight)}
+}
+
+// do returns compute's result for key, starting compute only when no
+// flight for key is in progress. ctx is the calling request's context:
+// it bounds only this caller's wait — when it ends, the caller leaves
+// the flight, and the computation is cancelled only if nobody else is
+// still waiting. detachCtx parents the computation itself (the server
+// passes its base context, so shutdown still stops everything).
+func (g *flightGroup) do(ctx, detachCtx context.Context, key string, compute func(context.Context) (*MineResponse, error)) (*MineResponse, error) {
+	g.mu.Lock()
+	fl, ok := g.flights[key]
+	if ok {
+		fl.waiters++
+		g.mu.Unlock()
+		g.trace.Add("coalesce.hits", 1)
+	} else {
+		fl = &flight{done: make(chan struct{}), waiters: 1}
+		runCtx := detachCtx
+		if deadline, has := ctx.Deadline(); has {
+			runCtx, fl.cancel = context.WithDeadline(detachCtx, deadline)
+		} else {
+			runCtx, fl.cancel = context.WithCancel(detachCtx)
+		}
+		g.flights[key] = fl
+		g.mu.Unlock()
+		g.trace.Add("coalesce.leaders", 1)
+		go g.lead(key, fl, runCtx, compute)
+	}
+
+	select {
+	case <-fl.done:
+		return fl.resp, fl.err
+	case <-ctx.Done():
+		g.leave(key, fl)
+		return nil, ctx.Err()
+	}
+}
+
+// lead runs the computation and publishes its result to the flight.
+func (g *flightGroup) lead(key string, fl *flight, runCtx context.Context, compute func(context.Context) (*MineResponse, error)) {
+	resp, err := compute(runCtx)
+	g.mu.Lock()
+	fl.resp, fl.err = resp, err
+	// Only remove the map entry if it is still ours: when every waiter
+	// left, leave() already removed it — and a fresh flight may have
+	// taken the key since.
+	if g.flights[key] == fl {
+		delete(g.flights, key)
+	}
+	g.mu.Unlock()
+	close(fl.done)
+	fl.cancel() // release the deadline timer
+}
+
+// leave drops one waiter from a flight whose context ended. The last
+// waiter out cancels the now-unwanted computation and retires the key
+// so the next identical request starts fresh.
+func (g *flightGroup) leave(key string, fl *flight) {
+	g.mu.Lock()
+	fl.waiters--
+	abandoned := fl.waiters == 0
+	if abandoned {
+		select {
+		case <-fl.done:
+			abandoned = false // finished in the meantime; nothing to cancel
+		default:
+			if g.flights[key] == fl {
+				delete(g.flights, key)
+			}
+		}
+	}
+	g.mu.Unlock()
+	if abandoned {
+		fl.cancel()
+		g.trace.Add("coalesce.abandoned", 1)
+	}
+}
+
+// inFlight reports the number of live flights (tests and metrics).
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

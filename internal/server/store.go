@@ -5,18 +5,19 @@ import (
 	"encoding/hex"
 	"sync"
 
+	"repro/api"
 	"repro/internal/dataset"
 )
 
 // DatasetKind discriminates the two upload formats.
-type DatasetKind string
+type DatasetKind = api.DatasetKind
 
 // Dataset kinds.
 const (
 	// KindScene is a WKT-JSON geographic scene (mined via extraction).
-	KindScene DatasetKind = "scene"
+	KindScene = api.KindScene
 	// KindTable is a transaction-table CSV (mined directly).
-	KindTable DatasetKind = "table"
+	KindTable = api.KindTable
 )
 
 // StoredDataset is one uploaded dataset, content-addressed by the
@@ -95,11 +96,7 @@ func (s *Store) Get(digest string) (*StoredDataset, bool) {
 }
 
 // StoreStats is the store's /metrics snapshot.
-type StoreStats struct {
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-	Evictions int64 `json:"evictions"`
-}
+type StoreStats = api.StoreStats
 
 // Stats snapshots the store counters.
 func (s *Store) Stats() StoreStats {
