@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
 )
 
 // DatasetKind discriminates the two upload formats.
@@ -42,6 +43,48 @@ type DatasetInfo struct {
 	Kind   DatasetKind `json:"kind"`
 	Rows   int         `json:"rows"`
 	Bytes  int64       `json:"bytes"`
+}
+
+// PatchRequest is the body of PATCH /v1/datasets/{digest}: a batch of
+// feature mutations applied atomically to a stored scene, producing a
+// new content-addressed successor dataset. The parent is never changed
+// — datasets are immutable values; a patch is a derivation.
+type PatchRequest struct {
+	// Ops is the mutation batch (insert/update/delete by layer + ID).
+	Ops []dataset.Op `json:"ops"`
+}
+
+// PatchResponse describes the successor dataset a PATCH produced, with
+// its lineage back to the parent digest. Mining the successor digest
+// can then reuse the parent's extraction state and cached result
+// through the delta pipeline.
+type PatchResponse struct {
+	// Parent is the digest the mutation batch was applied to.
+	Parent string `json:"parent"`
+	// Dataset describes the stored successor (its digest is the content
+	// address of the successor's serialised form).
+	Dataset DatasetInfo `json:"dataset"`
+	// Changed counts mutated features across all layers.
+	Changed int `json:"changed"`
+	// ByLayer is the per-layer feature diff.
+	ByLayer map[string]*dataset.LayerDiff `json:"byLayer,omitempty"`
+}
+
+// DatasetList enumerates the stored datasets (GET /v1/datasets),
+// ordered by digest.
+type DatasetList struct {
+	Datasets []DatasetInfo `json:"datasets"`
+}
+
+// DeleteResponse acknowledges DELETE /v1/datasets/{digest}: the dataset
+// is gone from the store and every cached mining result computed from
+// it has been invalidated.
+type DeleteResponse struct {
+	Digest  string `json:"digest"`
+	Deleted bool   `json:"deleted"`
+	// ResultsInvalidated counts result-cache entries dropped because
+	// they were keyed to this digest.
+	ResultsInvalidated int `json:"resultsInvalidated"`
 }
 
 // MineRequest is the body of POST /v1/mine and POST /v1/jobs: which

@@ -248,6 +248,39 @@ func (c *Client) GetDataset(ctx context.Context, digest string) (api.DatasetInfo
 	return info, err
 }
 
+// ListDatasets enumerates the stored datasets (merged across the
+// cluster when talking to a front node), ordered by digest.
+func (c *Client) ListDatasets(ctx context.Context) ([]api.DatasetInfo, error) {
+	var list api.DatasetList
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/datasets", nil, &list); err != nil {
+		return nil, err
+	}
+	return list.Datasets, nil
+}
+
+// PatchDataset applies a mutation batch to a stored scene and returns
+// the content-addressed successor with its lineage. The parent dataset
+// is immutable and stays stored; mining the successor digest reuses the
+// parent's extraction and mining state through the delta pipeline.
+func (c *Client) PatchDataset(ctx context.Context, digest string, req api.PatchRequest) (*api.PatchResponse, error) {
+	var resp api.PatchResponse
+	if err := c.doJSON(ctx, http.MethodPatch, "/v1/datasets/"+digest, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DeleteDataset removes a stored dataset and invalidates every cached
+// mining result derived from it (summed across replicas when talking
+// to a front node).
+func (c *Client) DeleteDataset(ctx context.Context, digest string) (*api.DeleteResponse, error) {
+	var resp api.DeleteResponse
+	if err := c.doJSON(ctx, http.MethodDelete, "/v1/datasets/"+digest, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Mine runs a synchronous mining request.
 func (c *Client) Mine(ctx context.Context, req api.MineRequest) (*api.MineResponse, error) {
 	var resp api.MineResponse

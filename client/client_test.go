@@ -1,6 +1,7 @@
 package client_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"repro/api"
 	"repro/client"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/server"
 )
 
@@ -194,5 +196,130 @@ func TestClientAgainstFrontNode(t *testing.T) {
 	h, err := c.Health(ctx)
 	if err != nil || h.Role != "front" {
 		t.Errorf("front health = %+v, %v", h, err)
+	}
+}
+
+// TestClientDatasetLifecycle drives the PATCH / list / delete surface:
+// patch a scene through the typed client, mine the successor, then
+// delete the parent and check the *APIError mapping on the gone digest.
+func TestClientDatasetLifecycle(t *testing.T) {
+	c := newNode(t)
+	ctx := context.Background()
+
+	var buf bytes.Buffer
+	if err := dataset.PortoAlegreScene().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.UploadDataset(ctx, api.KindScene, buf.Bytes())
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+
+	pr, err := c.PatchDataset(ctx, info.Digest, api.PatchRequest{Ops: []dataset.Op{
+		{Action: dataset.OpInsert, Layer: "slum", ID: "slumX", WKT: "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))"},
+	}})
+	if err != nil {
+		t.Fatalf("patch: %v", err)
+	}
+	if pr.Parent != info.Digest || pr.Dataset.Digest == info.Digest || pr.Changed != 1 {
+		t.Fatalf("patch response = %+v", pr)
+	}
+	if _, err := c.Mine(ctx, api.MineRequest{Dataset: pr.Dataset.Digest, Config: core.Config{MinSupport: 0.3}}); err != nil {
+		t.Fatalf("mine successor: %v", err)
+	}
+
+	list, err := c.ListDatasets(ctx)
+	if err != nil || len(list) != 2 {
+		t.Fatalf("list = %+v, %v (want parent + successor)", list, err)
+	}
+
+	// Error mapping: unknown digest -> not_found; bad batch -> bad_request.
+	if _, err := c.PatchDataset(ctx, "deadbeef", api.PatchRequest{Ops: []dataset.Op{{Action: dataset.OpDelete, Layer: "slum", ID: "x"}}}); !client.IsNotFound(err) {
+		t.Fatalf("patch unknown digest: %v", err)
+	}
+	if _, err := c.PatchDataset(ctx, info.Digest, api.PatchRequest{}); client.ErrCode(err) != api.CodeBadRequest {
+		t.Fatalf("empty patch: %v", err)
+	}
+
+	del, err := c.DeleteDataset(ctx, info.Digest)
+	if err != nil || !del.Deleted {
+		t.Fatalf("delete = %+v, %v", del, err)
+	}
+	if _, err := c.DeleteDataset(ctx, info.Digest); !client.IsNotFound(err) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := c.GetDataset(ctx, info.Digest); !client.IsNotFound(err) {
+		t.Fatalf("get after delete: %v", err)
+	}
+}
+
+// TestClientLifecycleViaFront checks the same surface through a
+// multi-node front: PATCH routes by parent digest, the successor mines
+// on the peer holding the parent, and DELETE merges invalidation counts
+// across replicas.
+func TestClientLifecycleViaFront(t *testing.T) {
+	var nodes []*server.Server
+	var peers []string
+	for i := 0; i < 2; i++ {
+		s := server.New(server.Options{Workers: 1})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { s.Shutdown(context.Background()) })
+		nodes = append(nodes, s)
+		peers = append(peers, ts.URL)
+	}
+	front, err := server.NewProxy(server.ProxyOptions{Peers: peers, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := httptest.NewServer(front.Handler())
+	t.Cleanup(fts.Close)
+
+	c := client.New(fts.URL)
+	ctx := context.Background()
+	var buf bytes.Buffer
+	if err := dataset.PortoAlegreScene().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.UploadDataset(ctx, api.KindScene, buf.Bytes())
+	if err != nil {
+		t.Fatalf("upload via front: %v", err)
+	}
+	cfg := core.Config{MinSupport: 0.3}
+	if _, err := c.Mine(ctx, api.MineRequest{Dataset: info.Digest, Config: cfg}); err != nil {
+		t.Fatalf("mine parent via front: %v", err)
+	}
+	pr, err := c.PatchDataset(ctx, info.Digest, api.PatchRequest{Ops: []dataset.Op{
+		{Action: dataset.OpInsert, Layer: "school", ID: "schoolX", WKT: "POINT (2 2)"},
+	}})
+	if err != nil {
+		t.Fatalf("patch via front: %v", err)
+	}
+	// The successor digest hashes to its own ring position, but lineage
+	// routing must send this to the peers holding the parent + patch.
+	resp, err := c.Mine(ctx, api.MineRequest{Dataset: pr.Dataset.Digest, Config: cfg})
+	if err != nil {
+		t.Fatalf("mine successor via front: %v", err)
+	}
+	if resp.Transactions == 0 {
+		t.Fatalf("successor mine = %+v", resp)
+	}
+
+	list, err := c.ListDatasets(ctx)
+	if err != nil || len(list) != 2 {
+		t.Fatalf("merged list = %+v, %v", list, err)
+	}
+
+	del, err := c.DeleteDataset(ctx, pr.Dataset.Digest)
+	if err != nil || !del.Deleted {
+		t.Fatalf("delete via front = %+v, %v", del, err)
+	}
+	// Replicas 2: the successor (and its cached result) existed on both
+	// peers; the merged count sums each peer's invalidation.
+	if del.ResultsInvalidated == 0 {
+		t.Errorf("delete invalidated nothing: %+v", del)
+	}
+	if _, err := c.GetDataset(ctx, pr.Dataset.Digest); !client.IsNotFound(err) {
+		t.Fatalf("successor survived cluster delete: %v", err)
 	}
 }

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -251,5 +254,111 @@ func TestRunSampleToBuffers(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "[trace]") {
 		t.Errorf("stderr missing trace lines: %q", stderr.String())
+	}
+}
+
+func TestRunMutateFlag(t *testing.T) {
+	// -mutate applies the ops file before mining and goes through the
+	// incremental re-extraction path, so the trace carries delta.*
+	// counters and the mined table reflects the edit.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edits.json")
+	ops := `{"ops":[{"action":"insert","layer":"slum","id":"slumX","wkt":"POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))"}]}`
+	if err := os.WriteFile(path, []byte(ops), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-sample", "-minsup", "0.3", "-mutate", path, "-trace"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "frequent itemsets") {
+		t.Errorf("stdout missing results: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "delta.rows.total") {
+		t.Errorf("stderr missing incremental-extraction counters: %q", stderr.String())
+	}
+
+	// The mutated run must equal mining the mutated dataset from
+	// scratch (oracle check over the JSON output).
+	var mutated, oracle bytes.Buffer
+	if err := run([]string{"-sample", "-minsup", "0.3", "-mutate", path, "-format", "json"}, &mutated, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	ds := qsrmine.PortoAlegreScene()
+	m, err := qsrmine.LoadMutation(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, _, err := ds.ApplyOps(m.Ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := filepath.Join(dir, "mutated.json")
+	w, err := os.Create(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.WriteJSON(w); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := run([]string{"-data", f, "-minsup", "0.3", "-format", "json"}, &oracle, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stripTiming(t, mutated.Bytes()), stripTiming(t, oracle.Bytes()); got != want {
+		t.Errorf("mutated run diverged from from-scratch oracle:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// stripTiming removes the wall-clock field from a JSON result so runs
+// compare on substance.
+func stripTiming(t *testing.T, raw []byte) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "miningMicros")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestRunMutateFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "edits.json")
+	if err := os.WriteFile(good, []byte(`{"ops":[{"action":"delete","layer":"slum","id":"nope"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// -mutate is a scene operation: combined with -table it must fail.
+	csv := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(csv, []byte("r1,a,b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-table", csv, "-mutate", good}, io.Discard, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-mutate") {
+		t.Errorf("-table with -mutate: err = %v", err)
+	}
+	// Deleting a feature that does not exist fails atomically.
+	if err := run([]string{"-sample", "-mutate", good}, io.Discard, io.Discard); err == nil {
+		t.Error("deleting unknown feature should fail")
+	}
+	// Unknown fields and empty batches are rejected by the loader.
+	for name, body := range map[string]string{
+		"typo.json":  `{"opps":[]}`,
+		"empty.json": `{"ops":[]}`,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{"-sample", "-mutate", p}, io.Discard, io.Discard); err == nil {
+			t.Errorf("%s should fail to load", name)
+		}
+	}
+	if err := run([]string{"-sample", "-mutate", filepath.Join(dir, "missing.json")}, io.Discard, io.Discard); err == nil {
+		t.Error("missing mutation file should fail")
 	}
 }

@@ -161,6 +161,32 @@ func RunContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Outcome, 
 	return RunTableContext(ctx, table, cfg)
 }
 
+// EffectiveMiningConfig resolves the mining.Config that cfg's algorithm
+// actually mines with. The named algorithm wrappers override the filter
+// flags — plain Apriori ignores both Φ and same-feature filtering,
+// Apriori-KC applies only Φ, and every KC+ engine forces same-feature
+// filtering on — so any code that re-derives or patches a result (the
+// delta mining path in particular) must use these effective semantics,
+// not the raw request config.
+func EffectiveMiningConfig(cfg Config) (mining.Config, error) {
+	mcfg := mining.Config{
+		MinSupport:   cfg.MinSupport,
+		Dependencies: cfg.Dependencies,
+		Counting:     cfg.Counting,
+		Parallelism:  cfg.Parallelism,
+	}
+	switch cfg.Algorithm {
+	case AlgApriori:
+		mcfg.Dependencies = nil
+	case AlgAprioriKC:
+	case AlgAprioriKCPlus, AlgFPGrowthKCPlus, AlgEclatKCPlus:
+		mcfg.FilterSameFeature = true
+	default:
+		return mining.Config{}, fmt.Errorf("core: unknown algorithm %d", cfg.Algorithm)
+	}
+	return mcfg, nil
+}
+
 // RunTable executes the mining stages on an existing transaction table
 // (e.g. one loaded from disk or produced by a generator). It is
 // RunTableContext with a background context.
@@ -179,31 +205,19 @@ func RunTableContext(ctx context.Context, table *dataset.Table, cfg Config) (*Ou
 	sp := tr.Stage("intern")
 	db := itemset.NewDB(table)
 	sp.End()
-	mcfg := mining.Config{
-		MinSupport:   cfg.MinSupport,
-		Dependencies: cfg.Dependencies,
-		Counting:     cfg.Counting,
-		Parallelism:  cfg.Parallelism,
+	mcfg, err := EffectiveMiningConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
 	var res *mining.Result
-	var err error
 	sp = tr.Stage("mine")
 	switch cfg.Algorithm {
-	case AlgApriori:
-		res, err = mining.AprioriContext(ctx, db, mcfg)
-	case AlgAprioriKC:
-		res, err = mining.AprioriKCContext(ctx, db, mcfg)
-	case AlgAprioriKCPlus:
-		res, err = mining.AprioriKCPlusContext(ctx, db, mcfg)
+	case AlgApriori, AlgAprioriKC, AlgAprioriKCPlus:
+		res, err = mining.MineContext(ctx, db, mcfg)
 	case AlgFPGrowthKCPlus:
-		mcfg.FilterSameFeature = true
 		res, err = mining.FPGrowthContext(ctx, db, mcfg)
 	case AlgEclatKCPlus:
-		mcfg.FilterSameFeature = true
 		res, err = mining.EclatContext(ctx, db, mcfg)
-	default:
-		sp.End()
-		return nil, fmt.Errorf("core: unknown algorithm %d", cfg.Algorithm)
 	}
 	sp.End()
 	if err != nil {

@@ -1,0 +1,330 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Mutation op actions.
+const (
+	// OpInsert appends a new feature to a layer.
+	OpInsert = "insert"
+	// OpUpdate replaces the geometry and/or attributes of a feature.
+	OpUpdate = "update"
+	// OpDelete removes a feature from a layer.
+	OpDelete = "delete"
+)
+
+// Op is one dataset mutation: insert, update, or delete a feature in a
+// named layer (the reference layer or any relevant layer, addressed by
+// feature-type name). It is the wire form of PATCH /v1/datasets/{digest}
+// and of the CLI -mutate file.
+type Op struct {
+	// Action is one of OpInsert, OpUpdate, OpDelete.
+	Action string `json:"action"`
+	// Layer names the target layer by feature type.
+	Layer string `json:"layer"`
+	// ID addresses the feature within the layer.
+	ID string `json:"id"`
+	// WKT is the geometry for inserts (required) and updates (optional:
+	// empty keeps the current geometry).
+	WKT string `json:"wkt,omitempty"`
+	// Attrs are the non-spatial attributes for inserts, and the full
+	// replacement attribute map for updates when non-nil.
+	Attrs map[string]Value `json:"attrs,omitempty"`
+}
+
+// Mutation is a batch of ops applied atomically: either every op
+// applies, or the dataset is unchanged.
+type Mutation struct {
+	Ops []Op `json:"ops"`
+}
+
+// LoadMutation reads a mutation batch from a JSON file of the form
+// {"ops":[{"action":"insert","layer":"slum","id":"s9","wkt":"..."}]}.
+// Unknown fields are rejected so typos surface as errors, not silent
+// no-ops.
+func LoadMutation(path string) (*Mutation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: loading mutation %s: %w", path, err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var m Mutation
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("dataset: loading mutation %s: %w", path, err)
+	}
+	if len(m.Ops) == 0 {
+		return nil, fmt.Errorf("dataset: loading mutation %s: no ops", path)
+	}
+	return &m, nil
+}
+
+// LayerDiff summarises what changed in one layer, by feature ID.
+type LayerDiff struct {
+	Updated  []string `json:"updated,omitempty"`
+	Inserted []string `json:"inserted,omitempty"`
+	Deleted  []string `json:"deleted,omitempty"`
+}
+
+// Empty reports whether the diff records no change.
+func (ld *LayerDiff) Empty() bool {
+	return ld == nil || (len(ld.Updated) == 0 && len(ld.Inserted) == 0 && len(ld.Deleted) == 0)
+}
+
+// Count returns the number of changed features.
+func (ld *LayerDiff) Count() int {
+	if ld == nil {
+		return 0
+	}
+	return len(ld.Updated) + len(ld.Inserted) + len(ld.Deleted)
+}
+
+// ChangeSet is the structured delta between a dataset and its mutated
+// successor: per-layer feature diffs keyed by feature-type name. The
+// incremental extraction state consumes it to invalidate exactly the
+// dirty region.
+type ChangeSet struct {
+	// ByLayer maps feature-type name to that layer's diff. Layers with
+	// no change have no entry.
+	ByLayer map[string]*LayerDiff `json:"byLayer"`
+}
+
+// Layer returns the diff for a layer (nil when unchanged).
+func (cs *ChangeSet) Layer(name string) *LayerDiff {
+	if cs == nil {
+		return nil
+	}
+	return cs.ByLayer[name]
+}
+
+// Empty reports whether nothing changed.
+func (cs *ChangeSet) Empty() bool {
+	if cs == nil {
+		return true
+	}
+	for _, ld := range cs.ByLayer {
+		if !ld.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the total number of changed features across layers.
+func (cs *ChangeSet) Count() int {
+	if cs == nil {
+		return 0
+	}
+	n := 0
+	for _, ld := range cs.ByLayer {
+		n += ld.Count()
+	}
+	return n
+}
+
+// ApplyOps applies a batch of mutation ops to d, returning the successor
+// dataset and the change set. d itself is never modified: layers are
+// copied, and untouched features share their geometry values (immutable
+// by convention) with the original. Updates replace features in place
+// (row order is preserved), deletes remove them (later rows shift up),
+// and inserts append. The ops are validated up front — an unknown layer
+// or ID, a duplicate insert, or invalid WKT fails the whole batch.
+//
+// A feature deleted and re-inserted in one batch moves to the end of its
+// layer and is reported as deleted + inserted, not updated.
+func (d *Dataset) ApplyOps(ops []Op) (*Dataset, *ChangeSet, error) {
+	if d.Reference == nil {
+		return nil, nil, fmt.Errorf("dataset: mutate: no reference layer")
+	}
+	if len(ops) == 0 {
+		return nil, nil, fmt.Errorf("dataset: mutate: empty op batch")
+	}
+
+	// Copy-on-write scaffolding: one mutable copy per touched layer.
+	nd := &Dataset{
+		Reference:       d.Reference,
+		Relevant:        append([]*Layer{}, d.Relevant...),
+		NonSpatialAttrs: d.NonSpatialAttrs,
+	}
+	copied := make(map[string]*Layer) // layer type -> mutable copy
+	layerOf := func(name string) (*Layer, error) {
+		if l, ok := copied[name]; ok {
+			return l, nil
+		}
+		var src *Layer
+		if d.Reference.Type == name {
+			src = d.Reference
+		} else {
+			for _, l := range d.Relevant {
+				if l.Type == name {
+					src = l
+					break
+				}
+			}
+		}
+		if src == nil {
+			return nil, fmt.Errorf("dataset: mutate: unknown layer %q", name)
+		}
+		cp := &Layer{Type: src.Type, Features: append([]Feature{}, src.Features...)}
+		copied[name] = cp
+		if src == d.Reference {
+			nd.Reference = cp
+		} else {
+			for i, l := range nd.Relevant {
+				if l.Type == name {
+					nd.Relevant[i] = cp
+				}
+			}
+		}
+		return cp, nil
+	}
+
+	// Track the net effect per (layer, id): features present before the
+	// batch and modified are "updated"; features added by the batch are
+	// "inserted" (an insert then update stays inserted); present-before
+	// features removed are "deleted".
+	type featState struct {
+		existedBefore bool
+		inserted      bool
+		updated       bool
+		deleted       bool
+	}
+	states := make(map[string]map[string]*featState)
+	stateOf := func(layer, id string, existedBefore bool) *featState {
+		if states[layer] == nil {
+			states[layer] = make(map[string]*featState)
+		}
+		st, ok := states[layer][id]
+		if !ok {
+			st = &featState{existedBefore: existedBefore}
+			states[layer][id] = st
+		}
+		return st
+	}
+
+	for i, op := range ops {
+		l, err := layerOf(op.Layer)
+		if err != nil {
+			return nil, nil, fmt.Errorf("op %d: %w", i, err)
+		}
+		if op.ID == "" {
+			return nil, nil, fmt.Errorf("dataset: mutate: op %d: empty feature ID", i)
+		}
+		at := -1
+		for j := range l.Features {
+			if l.Features[j].ID == op.ID {
+				at = j
+				break
+			}
+		}
+		switch op.Action {
+		case OpInsert:
+			if at >= 0 {
+				return nil, nil, fmt.Errorf("dataset: mutate: op %d: insert: feature %q already exists in layer %q", i, op.ID, op.Layer)
+			}
+			if op.WKT == "" {
+				return nil, nil, fmt.Errorf("dataset: mutate: op %d: insert needs a wkt geometry", i)
+			}
+			g, err := geom.ParseWKT(op.WKT)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dataset: mutate: op %d: %w", i, err)
+			}
+			if err := geom.Validate(g); err != nil {
+				return nil, nil, fmt.Errorf("dataset: mutate: op %d: %w", i, err)
+			}
+			l.Features = append(l.Features, Feature{ID: op.ID, Geometry: g, Attrs: copyAttrs(op.Attrs)})
+			st := stateOf(op.Layer, op.ID, false)
+			st.inserted, st.deleted = true, false
+		case OpUpdate:
+			if at < 0 {
+				return nil, nil, fmt.Errorf("dataset: mutate: op %d: update: no feature %q in layer %q", i, op.ID, op.Layer)
+			}
+			f := l.Features[at] // value copy; the original layer keeps its own
+			if op.WKT != "" {
+				g, err := geom.ParseWKT(op.WKT)
+				if err != nil {
+					return nil, nil, fmt.Errorf("dataset: mutate: op %d: %w", i, err)
+				}
+				if err := geom.Validate(g); err != nil {
+					return nil, nil, fmt.Errorf("dataset: mutate: op %d: %w", i, err)
+				}
+				f.Geometry = g
+			}
+			if op.Attrs != nil {
+				f.Attrs = copyAttrs(op.Attrs)
+			}
+			if op.WKT == "" && op.Attrs == nil {
+				return nil, nil, fmt.Errorf("dataset: mutate: op %d: update changes neither wkt nor attrs", i)
+			}
+			l.Features[at] = f
+			st := stateOf(op.Layer, op.ID, true)
+			if !st.inserted {
+				st.updated = true
+			}
+		case OpDelete:
+			if at < 0 {
+				return nil, nil, fmt.Errorf("dataset: mutate: op %d: delete: no feature %q in layer %q", i, op.ID, op.Layer)
+			}
+			l.Features = append(l.Features[:at], l.Features[at+1:]...)
+			st := stateOf(op.Layer, op.ID, true)
+			if st.inserted && !st.existedBefore {
+				// Inserted then deleted within the batch: net no-op.
+				delete(states[op.Layer], op.ID)
+			} else {
+				st.deleted, st.inserted, st.updated = true, false, false
+			}
+		default:
+			return nil, nil, fmt.Errorf("dataset: mutate: op %d: unknown action %q (want insert, update, or delete)", i, op.Action)
+		}
+	}
+
+	cs := &ChangeSet{ByLayer: make(map[string]*LayerDiff)}
+	for layer, byID := range states {
+		ld := &LayerDiff{}
+		for id, st := range byID {
+			switch {
+			case st.deleted:
+				ld.Deleted = append(ld.Deleted, id)
+			case st.inserted && st.existedBefore:
+				// Deleted then re-inserted within the batch: the feature
+				// moved to the end of its layer.
+				ld.Deleted = append(ld.Deleted, id)
+				ld.Inserted = append(ld.Inserted, id)
+			case st.inserted:
+				ld.Inserted = append(ld.Inserted, id)
+			case st.updated:
+				ld.Updated = append(ld.Updated, id)
+			}
+		}
+		sort.Strings(ld.Updated)
+		sort.Strings(ld.Inserted)
+		sort.Strings(ld.Deleted)
+		if !ld.Empty() {
+			cs.ByLayer[layer] = ld
+		}
+	}
+	if nd.Reference.Len() == 0 {
+		return nil, nil, fmt.Errorf("dataset: mutate: batch deletes every reference feature")
+	}
+	return nd, cs, nil
+}
+
+// copyAttrs clones an attribute map so the successor never aliases the
+// caller's (or the wire decoder's) map.
+func copyAttrs(attrs map[string]Value) map[string]Value {
+	if attrs == nil {
+		return nil
+	}
+	cp := make(map[string]Value, len(attrs))
+	for k, v := range attrs {
+		cp[k] = v
+	}
+	return cp
+}

@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// mustWKT parses a WKT literal or fails the test.
+func mustWKT(t *testing.T, wkt string) geom.Geometry {
+	t.Helper()
+	g, err := geom.ParseWKT(wkt)
+	if err != nil {
+		t.Fatalf("ParseWKT(%q): %v", wkt, err)
+	}
+	return g
+}
+
+// mutableDataset builds a small two-layer dataset for mutation tests.
+func mutableDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ref := NewLayer("district")
+	ref.Add(Feature{ID: "d0", Geometry: mustWKT(t, "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")})
+	ref.Add(Feature{ID: "d1", Geometry: mustWKT(t, "POLYGON ((10 0, 20 0, 20 10, 10 10, 10 0))")})
+	slums := NewLayer("slum")
+	slums.Add(Feature{ID: "s0", Geometry: mustWKT(t, "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))")})
+	slums.Add(Feature{ID: "s1", Geometry: mustWKT(t, "POLYGON ((12 1, 14 1, 14 3, 12 3, 12 1))")})
+	d := &Dataset{Reference: ref, Relevant: []*Layer{slums}, NonSpatialAttrs: []string{"crimeRate"}}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return d
+}
+
+func TestApplyOpsBasic(t *testing.T) {
+	d := mutableDataset(t)
+	nd, cs, err := d.ApplyOps([]Op{
+		{Action: OpUpdate, Layer: "slum", ID: "s0", WKT: "POLYGON ((5 5, 7 5, 7 7, 5 7, 5 5))"},
+		{Action: OpInsert, Layer: "slum", ID: "s2", WKT: "POLYGON ((15 5, 17 5, 17 7, 15 7, 15 5))"},
+		{Action: OpDelete, Layer: "slum", ID: "s1"},
+		{Action: OpUpdate, Layer: "district", ID: "d0", Attrs: map[string]Value{"crimeRate": "high"}},
+	})
+	if err != nil {
+		t.Fatalf("ApplyOps: %v", err)
+	}
+	ld := cs.Layer("slum")
+	if got, want := ld.Updated, []string{"s0"}; !equalStrings(got, want) {
+		t.Errorf("updated = %v, want %v", got, want)
+	}
+	if got, want := ld.Inserted, []string{"s2"}; !equalStrings(got, want) {
+		t.Errorf("inserted = %v, want %v", got, want)
+	}
+	if got, want := ld.Deleted, []string{"s1"}; !equalStrings(got, want) {
+		t.Errorf("deleted = %v, want %v", got, want)
+	}
+	if got, want := cs.Layer("district").Updated, []string{"d0"}; !equalStrings(got, want) {
+		t.Errorf("district updated = %v, want %v", got, want)
+	}
+	if cs.Count() != 4 {
+		t.Errorf("Count() = %d, want 4", cs.Count())
+	}
+
+	// Successor has the edits applied.
+	slum := nd.Relevant[0]
+	if slum.Len() != 2 {
+		t.Fatalf("successor slum layer has %d features, want 2", slum.Len())
+	}
+	if slum.Features[0].ID != "s0" || slum.Features[1].ID != "s2" {
+		t.Errorf("successor slum IDs = %v, %v", slum.Features[0].ID, slum.Features[1].ID)
+	}
+	if env := slum.Features[0].Geometry.Envelope(); env.MinX != 5 {
+		t.Errorf("s0 geometry not updated: envelope %+v", env)
+	}
+	if nd.Reference.Features[0].Attrs["crimeRate"] != "high" {
+		t.Errorf("d0 attrs not updated: %v", nd.Reference.Features[0].Attrs)
+	}
+	if err := nd.Validate(); err != nil {
+		t.Errorf("successor invalid: %v", err)
+	}
+
+	// The predecessor is untouched (copy-on-write).
+	if d.Relevant[0].Len() != 2 || d.Relevant[0].Features[1].ID != "s1" {
+		t.Errorf("predecessor slum layer mutated: %+v", d.Relevant[0].Features)
+	}
+	if env := d.Relevant[0].Features[0].Geometry.Envelope(); env.MinX != 1 {
+		t.Errorf("predecessor s0 geometry mutated: %+v", env)
+	}
+	if d.Reference.Features[0].Attrs != nil {
+		t.Errorf("predecessor d0 attrs mutated: %v", d.Reference.Features[0].Attrs)
+	}
+}
+
+func TestApplyOpsNetEffects(t *testing.T) {
+	d := mutableDataset(t)
+
+	// Insert then delete within one batch: net no-op for that feature.
+	_, cs, err := d.ApplyOps([]Op{
+		{Action: OpInsert, Layer: "slum", ID: "tmp", WKT: "POINT (1 1)"},
+		{Action: OpDelete, Layer: "slum", ID: "tmp"},
+		{Action: OpUpdate, Layer: "slum", ID: "s0", WKT: "POINT (2 2)"},
+	})
+	if err != nil {
+		t.Fatalf("ApplyOps: %v", err)
+	}
+	ld := cs.Layer("slum")
+	if len(ld.Inserted) != 0 || len(ld.Deleted) != 0 {
+		t.Errorf("insert+delete should be a net no-op, got %+v", ld)
+	}
+	if !equalStrings(ld.Updated, []string{"s0"}) {
+		t.Errorf("updated = %v, want [s0]", ld.Updated)
+	}
+
+	// Insert then update stays an insert.
+	_, cs, err = d.ApplyOps([]Op{
+		{Action: OpInsert, Layer: "slum", ID: "s9", WKT: "POINT (1 1)"},
+		{Action: OpUpdate, Layer: "slum", ID: "s9", WKT: "POINT (2 2)"},
+	})
+	if err != nil {
+		t.Fatalf("ApplyOps: %v", err)
+	}
+	ld = cs.Layer("slum")
+	if !equalStrings(ld.Inserted, []string{"s9"}) || len(ld.Updated) != 0 {
+		t.Errorf("insert+update should stay inserted, got %+v", ld)
+	}
+
+	// Delete then re-insert an existing feature: reported as both (the
+	// feature moved to the end of the layer).
+	nd, cs, err := d.ApplyOps([]Op{
+		{Action: OpDelete, Layer: "slum", ID: "s0"},
+		{Action: OpInsert, Layer: "slum", ID: "s0", WKT: "POINT (3 3)"},
+	})
+	if err != nil {
+		t.Fatalf("ApplyOps: %v", err)
+	}
+	ld = cs.Layer("slum")
+	if !equalStrings(ld.Deleted, []string{"s0"}) || !equalStrings(ld.Inserted, []string{"s0"}) {
+		t.Errorf("delete+reinsert should report deleted+inserted, got %+v", ld)
+	}
+	if last := nd.Relevant[0].Features[nd.Relevant[0].Len()-1]; last.ID != "s0" {
+		t.Errorf("reinserted feature should be last, layer = %+v", nd.Relevant[0].Features)
+	}
+}
+
+func TestApplyOpsValidation(t *testing.T) {
+	d := mutableDataset(t)
+	cases := []struct {
+		name string
+		ops  []Op
+	}{
+		{"empty batch", nil},
+		{"unknown layer", []Op{{Action: OpInsert, Layer: "nope", ID: "x", WKT: "POINT (0 0)"}}},
+		{"unknown action", []Op{{Action: "upsert", Layer: "slum", ID: "s0", WKT: "POINT (0 0)"}}},
+		{"empty id", []Op{{Action: OpInsert, Layer: "slum", WKT: "POINT (0 0)"}}},
+		{"duplicate insert", []Op{{Action: OpInsert, Layer: "slum", ID: "s0", WKT: "POINT (0 0)"}}},
+		{"insert without wkt", []Op{{Action: OpInsert, Layer: "slum", ID: "sX"}}},
+		{"bad wkt", []Op{{Action: OpInsert, Layer: "slum", ID: "sX", WKT: "POLYGON 1 2 3"}}},
+		{"update missing", []Op{{Action: OpUpdate, Layer: "slum", ID: "ghost", WKT: "POINT (0 0)"}}},
+		{"update changes nothing", []Op{{Action: OpUpdate, Layer: "slum", ID: "s0"}}},
+		{"delete missing", []Op{{Action: OpDelete, Layer: "slum", ID: "ghost"}}},
+		{"delete all reference rows", []Op{
+			{Action: OpDelete, Layer: "district", ID: "d0"},
+			{Action: OpDelete, Layer: "district", ID: "d1"},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := d.ApplyOps(tc.ops); err == nil {
+				t.Fatalf("ApplyOps(%v) succeeded, want error", tc.ops)
+			}
+		})
+	}
+	// A failed batch leaves the original untouched.
+	if d.Relevant[0].Len() != 2 || d.Reference.Len() != 2 {
+		t.Fatalf("failed batches mutated the dataset")
+	}
+}
+
+func TestMutationJSONRoundTrip(t *testing.T) {
+	m := Mutation{Ops: []Op{
+		{Action: OpUpdate, Layer: "slum", ID: "s0", WKT: "POINT (1 2)"},
+		{Action: OpInsert, Layer: "school", ID: "sc9", WKT: "POINT (3 4)", Attrs: map[string]Value{"grade": "A"}},
+		{Action: OpDelete, Layer: "river", ID: "r1"},
+	}}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Mutation
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back.Ops) != 3 {
+		t.Fatalf("round trip lost ops: %+v", back.Ops)
+	}
+	if o := back.Ops[0]; o.Action != OpUpdate || o.Layer != "slum" || o.ID != "s0" || o.WKT != "POINT (1 2)" {
+		t.Errorf("round trip lost data: %+v", o)
+	}
+	if back.Ops[1].Attrs["grade"] != "A" {
+		t.Errorf("attrs lost: %+v", back.Ops[1])
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// DiffTolerance is the relative ns/op regression the bench gate
+// accepts before failing: re-measured workloads may be up to 25%
+// slower than the committed baseline. Generous by design — shared CI
+// runners jitter — while still catching order-of-magnitude
+// regressions like a dropped index or an accidental O(n²) path.
+const DiffTolerance = 0.25
+
+// benchRow is the subset of a benchmark record the gate compares on;
+// both BENCH_mining.json and BENCH_extract.json rows decode into it.
+type benchRow struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"nsPerOp"`
+}
+
+// DiffFinding is one workload's baseline-versus-measured comparison.
+type DiffFinding struct {
+	// Name is the workload identifier.
+	Name string
+	// BaselineNs and MeasuredNs are the committed and re-measured
+	// ns/op.
+	BaselineNs float64
+	MeasuredNs float64
+	// Ratio is MeasuredNs / BaselineNs.
+	Ratio float64
+	// Regressed marks workloads above the tolerance.
+	Regressed bool
+	// Missing marks baseline workloads the fresh run no longer
+	// produces (a renamed or dropped row also fails the gate: silently
+	// losing coverage is a regression too).
+	Missing bool
+}
+
+// BenchDiff re-measures a benchmark suite and compares it against a
+// committed baseline file. New workloads absent from the baseline pass
+// (they gate once committed); baseline workloads missing from the
+// fresh run fail.
+func BenchDiff(baselinePath string, fresh []byte) ([]DiffFinding, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("bench diff: reading baseline: %w", err)
+	}
+	var baseline, measured []benchRow
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return nil, fmt.Errorf("bench diff: parsing baseline %s: %w", baselinePath, err)
+	}
+	if err := json.Unmarshal(fresh, &measured); err != nil {
+		return nil, fmt.Errorf("bench diff: parsing fresh run: %w", err)
+	}
+	byName := make(map[string]float64, len(measured))
+	for _, m := range measured {
+		byName[m.Name] = m.NsPerOp
+	}
+	var out []DiffFinding
+	for _, b := range baseline {
+		got, ok := byName[b.Name]
+		if !ok {
+			out = append(out, DiffFinding{Name: b.Name, BaselineNs: b.NsPerOp, Missing: true})
+			continue
+		}
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = got / b.NsPerOp
+		}
+		out = append(out, DiffFinding{
+			Name:       b.Name,
+			BaselineNs: b.NsPerOp,
+			MeasuredNs: got,
+			Ratio:      ratio,
+			Regressed:  ratio > 1+DiffTolerance,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// FormatDiff renders the findings as an aligned report and reports
+// whether any workload regressed or went missing.
+func FormatDiff(w io.Writer, findings []DiffFinding) (failed bool) {
+	for _, f := range findings {
+		switch {
+		case f.Missing:
+			fmt.Fprintf(w, "MISSING  %-55s baseline %.0f ns/op, absent from fresh run\n", f.Name, f.BaselineNs)
+			failed = true
+		case f.Regressed:
+			fmt.Fprintf(w, "REGRESS  %-55s %.0f -> %.0f ns/op (%.2fx, tolerance %.2fx)\n",
+				f.Name, f.BaselineNs, f.MeasuredNs, f.Ratio, 1+DiffTolerance)
+			failed = true
+		default:
+			fmt.Fprintf(w, "ok       %-55s %.0f -> %.0f ns/op (%.2fx)\n",
+				f.Name, f.BaselineNs, f.MeasuredNs, f.Ratio)
+		}
+	}
+	return failed
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/transact"
+)
+
+func TestBenchDiffGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_test.json")
+	write := func(body string) {
+		t.Helper()
+		if err := os.WriteFile(baseline, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(`[
+		{"name":"w/fast","nsPerOp":1000},
+		{"name":"w/slow","nsPerOp":1000},
+		{"name":"w/gone","nsPerOp":1000}
+	]`)
+	fresh := []byte(`[
+		{"name":"w/fast","nsPerOp":900},
+		{"name":"w/slow","nsPerOp":1300},
+		{"name":"w/new","nsPerOp":42}
+	]`)
+	findings, err := BenchDiff(baseline, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]DiffFinding{}
+	for _, f := range findings {
+		byName[f.Name] = f
+	}
+	if len(findings) != 3 {
+		t.Fatalf("findings = %+v (new workloads must not gate)", findings)
+	}
+	if f := byName["w/fast"]; f.Regressed || f.Missing || f.Ratio != 0.9 {
+		t.Errorf("fast: %+v", f)
+	}
+	if f := byName["w/slow"]; !f.Regressed || f.Ratio != 1.3 {
+		t.Errorf("slow must regress at 1.3x with %.2f tolerance: %+v", DiffTolerance, f)
+	}
+	if f := byName["w/gone"]; !f.Missing {
+		t.Errorf("gone must be flagged missing: %+v", f)
+	}
+	var sb strings.Builder
+	if !FormatDiff(&sb, findings) {
+		t.Error("FormatDiff must report failure")
+	}
+	for _, want := range []string{"REGRESS", "MISSING", "ok"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// Within tolerance on both sides passes.
+	write(`[{"name":"w/a","nsPerOp":1000}]`)
+	findings, err = BenchDiff(baseline, []byte(`[{"name":"w/a","nsPerOp":1249}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb2 strings.Builder
+	if FormatDiff(&sb2, findings) {
+		t.Errorf("1.249x is inside the %.2f tolerance:\n%s", DiffTolerance, sb2.String())
+	}
+
+	if _, err := BenchDiff(filepath.Join(dir, "nope.json"), fresh); err == nil {
+		t.Error("missing baseline must error")
+	}
+	write(`not json`)
+	if _, err := BenchDiff(baseline, fresh); err == nil {
+		t.Error("corrupt baseline must error")
+	}
+}
+
+// TestIncrementalBenchChain exercises the chain builder and one timed
+// pair on a small scene: the delta row must verify against the
+// from-scratch oracle and re-extract fewer rows than the full table.
+func TestIncrementalBenchChain(t *testing.T) {
+	d, err := datagen.GenerateScene(datagen.DefaultScene(5, 5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := buildMutationChain(d, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 6 {
+		t.Fatalf("chain length = %d", len(chain))
+	}
+	for i, step := range chain {
+		if got := step.cs.Count(); got != 2 {
+			t.Errorf("step %d changed %d features, want 2", i, got)
+		}
+	}
+	rows := len(d.Reference.Features)
+	pair, err := benchChain(d, chain, transact.DefaultOptions(), rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pair) != 2 {
+		t.Fatalf("pair = %+v", pair)
+	}
+	delta, full := pair[0], pair[1]
+	if !strings.HasSuffix(delta.Name, "/delta") || !strings.HasSuffix(full.Name, "/full") {
+		t.Fatalf("row names: %q, %q", delta.Name, full.Name)
+	}
+	if !delta.Verified || !full.Verified {
+		t.Error("rows must be oracle-verified")
+	}
+	if delta.RowsDirtyPerOp <= 0 || delta.RowsDirtyPerOp >= float64(rows) {
+		t.Errorf("rowsDirtyPerOp = %g, want in (0, %d)", delta.RowsDirtyPerOp, rows)
+	}
+	if delta.Speedup <= 0 {
+		t.Errorf("speedup = %g", delta.Speedup)
+	}
+
+	// Oversized batches are rejected up front.
+	if _, err := buildMutationChain(d, 1_000_000, 1); err == nil {
+		t.Error("batch larger than the feature population must error")
+	}
+}
+
+// TestIncrementalBenchDeterministicChains pins the chain generator:
+// same scene, same parameters, same ops.
+func TestIncrementalBenchDeterministicChains(t *testing.T) {
+	d, err := datagen.GenerateScene(datagen.DefaultScene(4, 4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := buildMutationChain(d, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildMutationChain(d, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		da, db := a[i].cs, b[i].cs
+		if da.Count() != db.Count() {
+			t.Fatalf("step %d diverged: %d vs %d changes", i, da.Count(), db.Count())
+		}
+	}
+	at, err := transact.Extract(a[len(a)-1].nd, transact.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := transact.Extract(b[len(b)-1].nd, transact.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(at.Transactions) != len(bt.Transactions) {
+		t.Fatal("final tables diverged")
+	}
+	for i := range at.Transactions {
+		ra, rb := at.Transactions[i], bt.Transactions[i]
+		if ra.RefID != rb.RefID || len(ra.Items) != len(rb.Items) {
+			t.Fatalf("row %d diverged: %+v vs %+v", i, ra, rb)
+		}
+		for j := range ra.Items {
+			if ra.Items[j] != rb.Items[j] {
+				t.Fatalf("row %d item %d diverged", i, j)
+			}
+		}
+	}
+}

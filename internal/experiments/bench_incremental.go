@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/transact"
+)
+
+// IncrementalBenchResult is one incremental-extraction measurement,
+// written to BENCH_incremental.json. Rows come in ".../delta" and
+// ".../full" pairs over the same pre-generated mutation chain: delta
+// rows re-extract through an evolving transact.State, full rows rerun
+// the whole extraction from scratch on every step.
+type IncrementalBenchResult struct {
+	// Name identifies the workload:
+	// "incremental/rows=<n>/edits=<k>/<delta|full>".
+	Name string `json:"name"`
+	// N is the number of timed mutation steps.
+	N int `json:"n"`
+	// NsPerOp is wall time per mutation step (apply the edit batch and
+	// produce the successor's transaction table).
+	NsPerOp float64 `json:"nsPerOp"`
+	// Rows is the reference row count of the scene.
+	Rows int `json:"rows"`
+	// Edits is the feature-edit batch size per step.
+	Edits int `json:"edits"`
+	// RowsDirtyPerOp is the mean number of rows the delta path actually
+	// re-extracted per step (delta rows only) — the sparsity the dirty
+	// region buys.
+	RowsDirtyPerOp float64 `json:"rowsDirtyPerOp,omitempty"`
+	// Speedup is full-ns/op divided by delta-ns/op (delta rows only).
+	Speedup float64 `json:"speedup,omitempty"`
+	// Verified records that the delta path's final table was compared
+	// equal to a from-scratch extraction of the final dataset; the
+	// check runs outside the timed region.
+	Verified bool `json:"verified"`
+}
+
+// incrementalSteps is the mutation-chain length each workload is timed
+// over. Long enough that per-step means are stable, short enough that
+// the full-extraction rows stay cheap to measure.
+const incrementalSteps = 24
+
+// mutationStep is one pre-generated link of a mutation chain: the
+// successor dataset plus the structured diff that produced it. Chains
+// are built before timing so the measured region is exactly
+// "re-extract after an edit", not op application or WKT formatting.
+type mutationStep struct {
+	nd *dataset.Dataset
+	cs *dataset.ChangeSet
+}
+
+// featureSlot addresses one relevant feature of a scene.
+type featureSlot struct {
+	layer string
+	id    string
+}
+
+// IncrementalBench measures incremental re-extraction against
+// from-scratch extraction over scene size × edit-batch size, on
+// deterministic mutation chains.
+func IncrementalBench() ([]IncrementalBenchResult, error) {
+	opts := transact.DefaultOptions()
+	var out []IncrementalBenchResult
+	for _, grid := range []int{10, 14, 20} {
+		d, err := datagen.GenerateScene(datagen.DefaultScene(grid, grid, 1))
+		if err != nil {
+			return nil, err
+		}
+		rows := len(d.Reference.Features)
+		for _, edits := range []int{1, 8, 32} {
+			chain, err := buildMutationChain(d, edits, incrementalSteps)
+			if err != nil {
+				return nil, err
+			}
+			pair, err := benchChain(d, chain, opts, rows, edits)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pair...)
+		}
+	}
+	return out, nil
+}
+
+// buildMutationChain pre-generates steps successive edit batches of
+// size edits, each applied to the previous step's dataset. Edits are
+// geometry updates of deterministically chosen relevant features: the
+// feature's envelope (padded so points and lines stay two-dimensional)
+// is nudged along x, alternating direction per step so the chain does
+// not drift off the scene.
+func buildMutationChain(d *dataset.Dataset, edits, steps int) ([]mutationStep, error) {
+	var slots []featureSlot
+	for _, l := range d.Relevant {
+		for _, f := range l.Features {
+			slots = append(slots, featureSlot{layer: l.Type, id: f.ID})
+		}
+	}
+	if edits > len(slots) {
+		return nil, fmt.Errorf("incremental bench: batch of %d edits exceeds %d features", edits, len(slots))
+	}
+	chain := make([]mutationStep, 0, steps)
+	cur := d
+	for s := 0; s < steps; s++ {
+		ops := make([]dataset.Op, 0, edits)
+		base := (s * 13) % len(slots)
+		dx := 0.75
+		if s%2 == 1 {
+			dx = -0.75
+		}
+		for j := 0; j < edits; j++ {
+			slot := slots[(base+j)%len(slots)]
+			f, ok := findFeature(cur, slot)
+			if !ok {
+				return nil, fmt.Errorf("incremental bench: lost feature %s/%s", slot.layer, slot.id)
+			}
+			env := f.Geometry.Envelope()
+			if env.MaxX-env.MinX < 0.5 {
+				env.MaxX = env.MinX + 0.5
+			}
+			if env.MaxY-env.MinY < 0.5 {
+				env.MaxY = env.MinY + 0.5
+			}
+			wkt := geom.Rect(env.MinX+dx, env.MinY, env.MaxX+dx, env.MaxY).WKT()
+			ops = append(ops, dataset.Op{Action: dataset.OpUpdate, Layer: slot.layer, ID: slot.id, WKT: wkt})
+		}
+		nd, cs, err := cur.ApplyOps(ops)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, mutationStep{nd: nd, cs: cs})
+		cur = nd
+	}
+	return chain, nil
+}
+
+// findFeature locates a relevant feature by layer type and ID.
+func findFeature(d *dataset.Dataset, slot featureSlot) (*dataset.Feature, bool) {
+	for _, l := range d.Relevant {
+		if l.Type != slot.layer {
+			continue
+		}
+		for i := range l.Features {
+			if l.Features[i].ID == slot.id {
+				return &l.Features[i], true
+			}
+		}
+	}
+	return nil, false
+}
+
+// benchChain times one workload's delta and full rows over the same
+// chain and cross-checks the delta path's final table against a
+// from-scratch oracle outside the timed region.
+func benchChain(d *dataset.Dataset, chain []mutationStep, opts transact.Options, rows, edits int) ([]IncrementalBenchResult, error) {
+	ctx := context.Background()
+
+	// Delta row: one evolving state absorbs every step; each step's
+	// cost includes assembling the successor table, the same product a
+	// full extraction hands to the miner.
+	st, err := transact.NewState(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	dirty := 0
+	start := time.Now()
+	for _, step := range chain {
+		td, err := st.Apply(ctx, step.nd, step.cs)
+		if err != nil {
+			return nil, err
+		}
+		st.Table()
+		dirty += td.RowsDirty
+	}
+	deltaNs := float64(time.Since(start).Nanoseconds()) / float64(len(chain))
+
+	// Oracle check, untimed: the evolved state must describe the final
+	// dataset exactly as a cold extraction does.
+	oracle, err := transact.Extract(chain[len(chain)-1].nd, opts)
+	if err != nil {
+		return nil, err
+	}
+	verified := reflect.DeepEqual(st.Table(), oracle)
+	if !verified {
+		return nil, fmt.Errorf("incremental bench: rows=%d edits=%d: delta table diverged from from-scratch extraction", rows, edits)
+	}
+
+	// Full row: re-extract every successor from scratch.
+	start = time.Now()
+	for _, step := range chain {
+		if _, err := transact.Extract(step.nd, opts); err != nil {
+			return nil, err
+		}
+	}
+	fullNs := float64(time.Since(start).Nanoseconds()) / float64(len(chain))
+
+	prefix := fmt.Sprintf("incremental/rows=%d/edits=%d", rows, edits)
+	return []IncrementalBenchResult{
+		{
+			Name:           prefix + "/delta",
+			N:              len(chain),
+			NsPerOp:        deltaNs,
+			Rows:           rows,
+			Edits:          edits,
+			RowsDirtyPerOp: float64(dirty) / float64(len(chain)),
+			Speedup:        fullNs / deltaNs,
+			Verified:       verified,
+		},
+		{
+			Name:     prefix + "/full",
+			N:        len(chain),
+			NsPerOp:  fullNs,
+			Rows:     rows,
+			Edits:    edits,
+			Verified: verified,
+		},
+	}, nil
+}
+
+// WriteIncrementalBenchJSON runs IncrementalBench and writes the
+// results as an indented JSON array — the BENCH_incremental.json
+// emitter behind `cmd/experiments -bench-incremental-json`.
+func WriteIncrementalBenchJSON(w io.Writer) error {
+	results, err := IncrementalBench()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -1,0 +1,131 @@
+package itemset
+
+// RowEdit names the new content of one transaction row in a patched
+// database: Row indexes the successor row numbering, Items is the row's
+// complete new item list (normalisation is not required; items are
+// interned and sorted here).
+type RowEdit struct {
+	Row   int
+	Items []string
+}
+
+// PatchStats reports what ApplyDelta did to the vertical representation.
+type PatchStats struct {
+	// TidsetsPatched counts individual (item, row) bit flips applied to
+	// the existing bitmaps — the "tidsets patched in place" signal.
+	TidsetsPatched int
+	// Rebuilt is set when the row set changed shape (deletions or
+	// moves), forcing a full tidset rebuild instead of in-place patching.
+	Rebuilt bool
+}
+
+// ApplyDelta restructures the database to a successor transaction table
+// without re-interning unchanged rows: newFromOld maps every successor
+// row index to its predecessor row index (-1 for rows that did not exist
+// before), and edits carries the new items of each row whose content
+// changed (which must include every newFromOld[j] == -1 row). Rows not
+// named by an edit keep their interned Itemset by reference.
+//
+// New item names are interned into the existing dictionary, so all
+// previously assigned IDs — and therefore all previously mined itemsets
+// — remain valid against the patched database.
+//
+// When the vertical representation has been built, it is maintained:
+// pure in-place updates (and appends) flip only the affected bits;
+// deletions or row moves rebuild the bitmaps. A database that never
+// built tidsets pays nothing here and builds them lazily as before.
+//
+// Not safe for concurrent use with readers of the same DB; callers
+// serialise patching against mining.
+func (db *DB) ApplyDelta(newFromOld []int, edits []RowEdit) PatchStats {
+	var stats PatchStats
+	oldRows := db.Rows
+
+	// Classify the shape: identity-with-appends keeps every surviving
+	// old row at its index and only appends new rows at the tail.
+	inPlace := len(newFromOld) >= len(oldRows)
+	if inPlace {
+		for j, old := range newFromOld {
+			if j < len(oldRows) {
+				if old != j {
+					inPlace = false
+					break
+				}
+			} else if old != -1 {
+				inPlace = false
+				break
+			}
+		}
+	}
+
+	newRows := make([]Itemset, len(newFromOld))
+	for j, old := range newFromOld {
+		if old >= 0 {
+			newRows[j] = oldRows[old]
+		}
+	}
+	for _, e := range edits {
+		ids := make([]int32, len(e.Items))
+		for i, name := range e.Items {
+			ids[i] = db.Dict.Intern(name)
+		}
+		newRows[e.Row] = NewItemset(ids...)
+	}
+
+	if db.tidsets == nil {
+		// Vertical representation never built: nothing to maintain.
+		db.Rows = newRows
+		return stats
+	}
+
+	if !inPlace {
+		db.Rows = newRows
+		db.buildTidsets()
+		stats.Rebuilt = true
+		return stats
+	}
+
+	// In-place patch. Grow the bitmaps to the new row count and item
+	// count first, then flip exactly the bits that changed.
+	words := (len(newRows) + 63) / 64
+	for i := range db.tidsets {
+		for len(db.tidsets[i]) < words {
+			db.tidsets[i] = append(db.tidsets[i], 0)
+		}
+	}
+	for db.Dict.Len() > len(db.tidsets) {
+		db.tidsets = append(db.tidsets, make(bitset, words))
+	}
+	for _, e := range edits {
+		var old Itemset
+		if e.Row < len(oldRows) {
+			old = oldRows[e.Row]
+		}
+		stats.TidsetsPatched += db.patchRow(e.Row, old, newRows[e.Row])
+	}
+	db.Rows = newRows
+	return stats
+}
+
+// patchRow flips the tidset bits of one row from its old itemset to its
+// new one, returning the number of flips. Both sets are sorted.
+func (db *DB) patchRow(row int, old, new Itemset) int {
+	flips := 0
+	i, j := 0, 0
+	for i < len(old) || j < len(new) {
+		switch {
+		case j >= len(new) || (i < len(old) && old[i] < new[j]):
+			db.tidsets[old[i]].clear(row)
+			flips++
+			i++
+		case i >= len(old) || new[j] < old[i]:
+			db.tidsets[new[j]].set(row)
+			flips++
+			j++
+		default: // equal: bit already correct
+			i++
+			j++
+		}
+	}
+	return flips
+}

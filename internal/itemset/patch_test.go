@@ -1,0 +1,181 @@
+package itemset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// tableOf builds a table from item lists.
+func tableOf(rows ...[]string) *dataset.Table {
+	txs := make([]dataset.Transaction, len(rows))
+	for i, items := range rows {
+		txs[i] = dataset.Transaction{RefID: fmt.Sprintf("r%d", i), Items: items}
+	}
+	return dataset.NewTable(txs)
+}
+
+// assertSupportsMatch compares every single-item support (and a few
+// pairs) of the patched DB against a freshly interned oracle DB over the
+// same rows.
+func assertSupportsMatch(t *testing.T, patched *DB, rows [][]string) {
+	t.Helper()
+	oracle := NewDB(tableOf(rows...))
+	if got, want := len(patched.Rows), len(oracle.Rows); got != want {
+		t.Fatalf("row count %d, want %d", got, want)
+	}
+	for i := range oracle.Rows {
+		// Interning order differs between the DBs, so compare by name.
+		gotNames := append([]string{}, patched.Rows[i].Names(patched.Dict)...)
+		wantNames := append([]string{}, oracle.Rows[i].Names(oracle.Dict)...)
+		sort.Strings(gotNames)
+		sort.Strings(wantNames)
+		if fmt.Sprint(gotNames) != fmt.Sprint(wantNames) {
+			t.Fatalf("row %d = %v, want %v", i, gotNames, wantNames)
+		}
+	}
+	// Every item's vertical support must equal the oracle's.
+	for name, wantID := range dictNames(oracle.Dict) {
+		gotID, ok := patched.Dict.Lookup(name)
+		if !ok {
+			t.Fatalf("item %q missing from patched dictionary", name)
+		}
+		got := patched.SupportVertical(NewItemset(gotID))
+		want := oracle.SupportVertical(NewItemset(wantID))
+		if got != want {
+			t.Errorf("support(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// dictNames enumerates every interned name with its ID.
+func dictNames(d *Dictionary) map[string]int32 {
+	out := make(map[string]int32, d.Len())
+	for id := int32(0); int(id) < d.Len(); id++ {
+		out[d.Name(id)] = id
+	}
+	return out
+}
+
+func TestApplyDeltaInPlace(t *testing.T) {
+	rows := [][]string{
+		{"a", "b", "c"},
+		{"a", "c"},
+		{"b", "d"},
+		{"a", "d"},
+	}
+	db := NewDB(tableOf(rows...))
+	db.BuildTidsets()
+
+	// Update row 1, update row 2 with a brand-new item, append row 4.
+	next := [][]string{
+		{"a", "b", "c"},
+		{"b", "c"},
+		{"b", "e"},
+		{"a", "d"},
+		{"a", "e"},
+	}
+	stats := db.ApplyDelta([]int{0, 1, 2, 3, -1}, []RowEdit{
+		{Row: 1, Items: next[1]},
+		{Row: 2, Items: next[2]},
+		{Row: 4, Items: next[4]},
+	})
+	if stats.Rebuilt {
+		t.Fatalf("identity+append shape should patch in place, got rebuild")
+	}
+	if stats.TidsetsPatched == 0 {
+		t.Fatalf("expected bit flips, got none")
+	}
+	assertSupportsMatch(t, db, next)
+}
+
+func TestApplyDeltaRebuildOnDeletion(t *testing.T) {
+	rows := [][]string{{"a", "b"}, {"b", "c"}, {"a", "c"}}
+	db := NewDB(tableOf(rows...))
+	db.BuildTidsets()
+
+	// Delete row 1: rows shift, forcing a rebuild.
+	next := [][]string{{"a", "b"}, {"a", "c"}}
+	stats := db.ApplyDelta([]int{0, 2}, nil)
+	if !stats.Rebuilt {
+		t.Fatalf("row deletion must rebuild tidsets")
+	}
+	assertSupportsMatch(t, db, next)
+}
+
+func TestApplyDeltaWithoutTidsets(t *testing.T) {
+	rows := [][]string{{"a", "b"}, {"b", "c"}}
+	db := NewDB(tableOf(rows...))
+	// No BuildTidsets: patching only swaps rows; vertical support still
+	// works afterwards via the lazy build.
+	next := [][]string{{"a", "b"}, {"b", "d"}}
+	stats := db.ApplyDelta([]int{0, 1}, []RowEdit{{Row: 1, Items: next[1]}})
+	if stats.Rebuilt || stats.TidsetsPatched != 0 {
+		t.Fatalf("no-tidset patch should be free, got %+v", stats)
+	}
+	assertSupportsMatch(t, db, next)
+}
+
+func TestApplyDeltaRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	alphabet := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	randomRow := func() []string {
+		var items []string
+		for _, it := range alphabet {
+			if rng.Float64() < 0.4 {
+				items = append(items, it)
+			}
+		}
+		return items
+	}
+	rows := make([][]string, 20)
+	for i := range rows {
+		rows[i] = randomRow()
+	}
+	db := NewDB(tableOf(rows...))
+	db.BuildTidsets()
+
+	for step := 0; step < 25; step++ {
+		var newFromOld []int
+		var next [][]string
+		var edits []RowEdit
+		switch rng.Intn(3) {
+		case 0: // edit a random row in place
+			newFromOld = identity(len(rows))
+			next = append([][]string{}, rows...)
+			r := rng.Intn(len(rows))
+			next[r] = randomRow()
+			edits = []RowEdit{{Row: r, Items: next[r]}}
+		case 1: // append a row
+			newFromOld = append(identity(len(rows)), -1)
+			next = append(append([][]string{}, rows...), randomRow())
+			edits = []RowEdit{{Row: len(rows), Items: next[len(rows)]}}
+		default: // delete a random row
+			if len(rows) < 3 {
+				continue
+			}
+			r := rng.Intn(len(rows))
+			for old := range rows {
+				if old == r {
+					continue
+				}
+				newFromOld = append(newFromOld, old)
+				next = append(next, rows[old])
+			}
+		}
+		db.ApplyDelta(newFromOld, edits)
+		assertSupportsMatch(t, db, next)
+		rows = next
+	}
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

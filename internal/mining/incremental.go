@@ -1,0 +1,208 @@
+// Incremental mining: patch a previous Result to reflect row-level
+// edits of the transaction database instead of re-running the engine.
+//
+// The patch is exact, not approximate. Support counts are additively
+// corrected per changed row; itemsets that fall below minsup are
+// dropped; and newly frequent itemsets are discovered by a depth-first
+// walk restricted to subsets of the changed rows' new item sets — any
+// itemset whose support increased must be contained in at least one
+// changed row, so the restricted walk cannot miss one. The walk prunes
+// with true supports from the (already patched) vertical bitmaps and
+// applies the same Φ-dependency / same-feature pair filters as the full
+// engines, so the patched result is identical to a from-scratch run.
+package mining
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"repro/internal/itemset"
+	"repro/internal/obs"
+)
+
+// RowDelta describes one transaction whose content differs between the
+// previously mined database and its patched successor. Old is nil for
+// inserted rows, New is nil for deleted rows; both are interned against
+// the shared (stable-ID) dictionary.
+type RowDelta struct {
+	Old itemset.Itemset
+	New itemset.Itemset
+}
+
+// PatchStats reports how a result patch was computed.
+type PatchStats struct {
+	// Patched counts previously frequent itemsets whose supports were
+	// additively corrected; Dropped how many fell below minsup;
+	// Discovered how many newly frequent itemsets the restricted walk
+	// found.
+	Patched, Dropped, Discovered int
+	// Rewalk is set when patching was not applicable (threshold count
+	// changed, no previous result, or the edit batch rivals the database
+	// size) and the engine re-ran on the patched database instead.
+	Rewalk bool
+}
+
+// PatchResultContext produces the mining result of the patched database
+// db (whose rows and tidsets must already reflect the edits, e.g. via
+// itemset.DB.ApplyDelta) given the previous result prev of the same
+// configuration and the row deltas that separate the two databases.
+//
+// The incremental path applies when the absolute minsup count is
+// unchanged and the edit batch is small relative to the database;
+// otherwise the generic engine re-runs on db — still skipping the
+// dominant extraction/interning/tidset work. Either way the returned
+// Frequent list is identical (same order, same supports) to mining db
+// from scratch under cfg.
+//
+// Pass statistics are not re-derived on the incremental path: Stats is
+// empty and the PrunedDeps/PrunedSameFeature tallies are carried over
+// from prev (the filters and dictionary are unchanged by small edits).
+func PatchResultContext(ctx context.Context, db *itemset.DB, prev *Result, cfg Config, deltas []RowDelta) (*Result, PatchStats, error) {
+	var stats PatchStats
+	minCount, err := resolveMinSupport(db, cfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	tr := obs.FromContext(ctx)
+	if prev == nil || minCount != prev.MinSupportCount || 2*len(deltas) > db.NumTransactions() {
+		stats.Rewalk = true
+		tr.Add("delta.mine.rewalks", 1)
+		rcfg := cfg
+		rcfg.Counting = VerticalCounting
+		res, err := MineContext(ctx, db, rcfg)
+		return res, stats, err
+	}
+	start := time.Now()
+
+	// Phase 1: correct the supports of every previously frequent
+	// itemset by its membership change across the edited rows.
+	kept := make([]FrequentItemset, 0, len(prev.Frequent))
+	prevKeys := make(map[string]struct{}, len(prev.Frequent))
+	for _, f := range prev.Frequent {
+		prevKeys[f.Items.Key()] = struct{}{}
+		sup := f.Support
+		for _, d := range deltas {
+			if d.Old.ContainsAll(f.Items) {
+				sup--
+			}
+			if d.New.ContainsAll(f.Items) {
+				sup++
+			}
+		}
+		if sup >= minCount {
+			kept = append(kept, FrequentItemset{Items: f.Items, Support: sup})
+		} else {
+			stats.Dropped++
+		}
+	}
+	stats.Patched = len(prev.Frequent)
+
+	// Phase 2: discover newly frequent itemsets. Any itemset that became
+	// frequent gained support, so it is a subset of some changed row's
+	// new items; walk exactly that space, pruning by true support
+	// (anti-monotone) and the pair filters.
+	changed := make([]itemset.Itemset, 0, len(deltas))
+	for _, d := range deltas {
+		if d.New != nil {
+			changed = append(changed, d.New)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	discovered := discoverNew(ctx, db, cfg, minCount, prevKeys, changed)
+	stats.Discovered = len(discovered)
+
+	all := append(kept, discovered...)
+	sort.SliceStable(all, func(i, j int) bool {
+		if len(all[i].Items) != len(all[j].Items) {
+			return len(all[i].Items) < len(all[j].Items)
+		}
+		return compareItems(all[i].Items, all[j].Items) < 0
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	tr.Add("delta.itemsets.patched", int64(stats.Patched))
+	tr.Add("delta.itemsets.dropped", int64(stats.Dropped))
+	tr.Add("delta.itemsets.discovered", int64(stats.Discovered))
+	return &Result{
+		Frequent:          all,
+		MinSupportCount:   minCount,
+		NumTransactions:   db.NumTransactions(),
+		Duration:          time.Since(start),
+		PrunedDeps:        prev.PrunedDeps,
+		PrunedSameFeature: prev.PrunedSameFeature,
+	}, stats, nil
+}
+
+// discoverNew walks the subsets of the changed rows' new item sets in
+// ascending-ID order, returning those frequent under minCount, allowed
+// by the pair filters, and not previously frequent. The walk visits
+// each candidate set exactly once (combinations, not permutations), so
+// the output needs no deduplication; it prunes a branch as soon as the
+// true support drops below minCount or no changed row contains the
+// prefix.
+func discoverNew(ctx context.Context, db *itemset.DB, cfg Config, minCount int, prevKeys map[string]struct{}, changed []itemset.Itemset) []FrequentItemset {
+	if len(changed) == 0 {
+		return nil
+	}
+	universe := make(map[int32]struct{})
+	for _, row := range changed {
+		for _, id := range row {
+			universe[id] = struct{}{}
+		}
+	}
+	items := make([]int32, 0, len(universe))
+	for id := range universe {
+		items = append(items, id)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	vc := db.NewVerticalCounter()
+	depSet := buildDepSet(db.Dict, cfg.Dependencies)
+	var out []FrequentItemset
+
+	// walk extends x (ascending, contained in every changed[live] row)
+	// with items after position from in the universe.
+	var walk func(x itemset.Itemset, live []int, from int)
+	walk = func(x itemset.Itemset, live []int, from int) {
+		if ctx.Err() != nil {
+			return
+		}
+		if cfg.MaxLen > 0 && len(x) >= cfg.MaxLen {
+			return
+		}
+		for p := from; p < len(items); p++ {
+			id := items[p]
+			var next []int
+			for _, li := range live {
+				if changed[li].Contains(id) {
+					next = append(next, li)
+				}
+			}
+			if len(next) == 0 {
+				continue
+			}
+			if len(x) > 0 && violates(x, id, db.Dict, depSet, cfg.FilterSameFeature) != violationNone {
+				continue
+			}
+			ext := append(append(itemset.Itemset{}, x...), id)
+			sup := vc.Support(ext)
+			if sup < minCount {
+				continue
+			}
+			if _, known := prevKeys[ext.Key()]; !known {
+				out = append(out, FrequentItemset{Items: ext, Support: sup})
+			}
+			walk(ext, next, p+1)
+		}
+	}
+	allRows := make([]int, len(changed))
+	for i := range changed {
+		allRows[i] = i
+	}
+	walk(nil, allRows, 0)
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/api"
@@ -82,6 +83,22 @@ func (c *ResultCache) Put(key string, resp *MineResponse) {
 	c.mu.Lock()
 	c.evictions += int64(c.lru.put(key, resp, 0))
 	c.mu.Unlock()
+}
+
+// InvalidateDataset drops every cached response computed from digest
+// (cache keys are "digest|canonical-config", so a prefix scan finds
+// exactly the dependents) and returns the number of entries removed.
+func (c *ResultCache) InvalidateDataset(digest string) int {
+	prefix := digest + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, key := range c.lru.keys() {
+		if strings.HasPrefix(key, prefix) && c.lru.remove(key) {
+			n++
+		}
+	}
+	return n
 }
 
 // CacheStats is the cache's /metrics snapshot.

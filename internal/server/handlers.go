@@ -32,7 +32,10 @@ func (s *Server) routeTable() []route {
 		{"GET", "/v1/metrics", "/metrics", s.handleMetrics},
 		{"POST", "/v1/datasets/scene", "/datasets/scene", s.handleUploadScene},
 		{"POST", "/v1/datasets/table", "/datasets/table", s.handleUploadTable},
+		{"GET", "/v1/datasets", "/datasets", s.handleListDatasets},
 		{"GET", "/v1/datasets/{digest}", "/datasets/{digest}", s.handleGetDataset},
+		{"PATCH", "/v1/datasets/{digest}", "/datasets/{digest}", s.handlePatchDataset},
+		{"DELETE", "/v1/datasets/{digest}", "/datasets/{digest}", s.handleDeleteDataset},
 		{"POST", "/v1/mine", "/mine", s.handleMine},
 		{"POST", "/v1/jobs", "/jobs", s.handleSubmitJob},
 		{"GET", "/v1/jobs/{id}", "/jobs/{id}", s.handleGetJob},
@@ -149,6 +152,92 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, infoOf(sd))
+}
+
+// handleListDatasets enumerates the stored datasets, ordered by digest.
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	stored := s.store.List()
+	list := api.DatasetList{Datasets: make([]api.DatasetInfo, 0, len(stored))}
+	for _, sd := range stored {
+		list.Datasets = append(list.Datasets, infoOf(sd))
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handlePatchDataset applies a mutation batch to a stored scene and
+// stores the content-addressed successor, recording its lineage so a
+// later mine of the successor can run the delta pipeline instead of
+// recomputing the world. The parent dataset is immutable and remains
+// stored.
+func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w, r) {
+		return
+	}
+	digest := r.PathValue("digest")
+	sd, ok := s.store.Get(digest)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, api.CodeNotFound, "unknown dataset %q", digest)
+		return
+	}
+	if sd.Kind != KindScene {
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "dataset %q is a %s; only scenes can be patched", digest, sd.Kind)
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req api.PatchRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "decoding patch: %v", err)
+		return
+	}
+	nd, cs, err := sd.Scene.ApplyOps(req.Ops)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := nd.WriteJSON(&buf); err != nil {
+		writeError(w, r, http.StatusInternalServerError, api.CodeInternal, "serialising successor: %v", err)
+		return
+	}
+	if int64(buf.Len()) > s.opts.MaxUploadBytes {
+		writeError(w, r, http.StatusRequestEntityTooLarge, api.CodeTooLarge, "successor exceeds %d bytes", s.opts.MaxUploadBytes)
+		return
+	}
+	child := s.store.PutScene(buf.Bytes(), nd)
+	s.deltas.recordLineage(child.Digest, digest, cs)
+	s.trace.Add("server.datasets.patches", 1)
+	writeJSON(w, http.StatusCreated, api.PatchResponse{
+		Parent:  digest,
+		Dataset: infoOf(child),
+		Changed: cs.Count(),
+		ByLayer: cs.ByLayer,
+	})
+}
+
+// handleDeleteDataset removes a stored dataset and invalidates every
+// cached mining result and delta-pipeline artefact derived from it.
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	if !s.store.Delete(digest) {
+		writeError(w, r, http.StatusNotFound, api.CodeNotFound, "unknown dataset %q", digest)
+		return
+	}
+	invalidated := s.cache.InvalidateDataset(digest)
+	s.deltas.forget(digest)
+	s.trace.Add("server.datasets.deletes", 1)
+	if invalidated > 0 {
+		s.trace.Add("server.cache.invalidated", int64(invalidated))
+	}
+	writeJSON(w, http.StatusOK, api.DeleteResponse{
+		Digest:             digest,
+		Deleted:            true,
+		ResultsInvalidated: invalidated,
+	})
 }
 
 // decodeMineRequest parses and sanity-checks a mining request body.

@@ -76,6 +76,28 @@ func (l *lru[K, V]) removeOldest() {
 	l.bytes -= ent.size
 }
 
+// remove drops key and reports whether it was present.
+func (l *lru[K, V]) remove(key K) bool {
+	el, ok := l.items[key]
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*lruEntry[K, V])
+	l.ll.Remove(el)
+	delete(l.items, ent.key)
+	l.bytes -= ent.size
+	return true
+}
+
+// keys snapshots every key, most recently used first.
+func (l *lru[K, V]) keys() []K {
+	out := make([]K, 0, l.ll.Len())
+	for el := l.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry[K, V]).key)
+	}
+	return out
+}
+
 // len reports the number of entries; size reports the accounted bytes.
 func (l *lru[K, V]) len() int    { return l.ll.Len() }
 func (l *lru[K, V]) size() int64 { return l.bytes }

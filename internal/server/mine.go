@@ -69,17 +69,23 @@ func (s *Server) compute(ctx context.Context, ds *StoredDataset, key string, req
 		}
 	}
 	ctx = obs.WithTrace(ctx, s.trace)
-	var out *core.Outcome
-	var err error
+	var resp *MineResponse
 	if ds.Kind == KindScene {
-		out, err = core.RunContext(ctx, ds.Scene, req.Config)
+		// Scenes route through the delta pipeline: the extraction state is
+		// reused across requests, and PATCH successors re-extract only the
+		// dirty region and patch the parent's cached result forward.
+		var err error
+		resp, err = s.computeScene(ctx, ds, key, req.Config)
+		if err != nil {
+			return nil, err
+		}
 	} else {
-		out, err = core.RunTableContext(ctx, ds.Table, req.Config)
+		out, err := core.RunTableContext(ctx, ds.Table, req.Config)
+		if err != nil {
+			return nil, err
+		}
+		resp = buildResponse(ds.Digest, out, req.Config)
 	}
-	if err != nil {
-		return nil, err
-	}
-	resp := buildResponse(ds.Digest, out, req.Config)
 	s.cache.Put(key, resp)
 	return resp, nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -71,6 +72,7 @@ type Proxy struct {
 
 	mu      sync.Mutex
 	jobPeer map[string]string // job ID -> peer base URL
+	childOf map[string]string // PATCH successor digest -> parent digest
 }
 
 // NewProxy assembles a front node for the given peers.
@@ -116,6 +118,7 @@ func NewProxy(opts ProxyOptions) (*Proxy, error) {
 		collector: collector,
 		started:   time.Now(),
 		jobPeer:   make(map[string]string),
+		childOf:   make(map[string]string),
 	}
 	httpc := opts.HTTPClient
 	if httpc == nil {
@@ -137,7 +140,10 @@ func (p *Proxy) routes() {
 		{"GET", "/v1/metrics", "/metrics", p.handleMetrics},
 		{"POST", "/v1/datasets/scene", "/datasets/scene", p.uploadHandler("/v1/datasets/scene")},
 		{"POST", "/v1/datasets/table", "/datasets/table", p.uploadHandler("/v1/datasets/table")},
+		{"GET", "/v1/datasets", "/datasets", p.handleListDatasets},
 		{"GET", "/v1/datasets/{digest}", "/datasets/{digest}", p.handleGetDataset},
+		{"PATCH", "/v1/datasets/{digest}", "/datasets/{digest}", p.handlePatchDataset},
+		{"DELETE", "/v1/datasets/{digest}", "/datasets/{digest}", p.handleDeleteDataset},
 		{"POST", "/v1/mine", "/mine", p.mineHandler("/v1/mine")},
 		{"POST", "/v1/jobs", "/jobs", p.mineHandler("/v1/jobs")},
 		{"GET", "/v1/jobs/{id}", "/jobs/{id}", p.handleJobByID},
@@ -330,7 +336,7 @@ func (p *Proxy) mineHandler(path string) http.HandlerFunc {
 			writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "request needs a %q digest from a dataset upload", "dataset")
 			return
 		}
-		cands := p.ring.candidates(probe.Dataset)
+		cands := p.routeDigest(probe.Dataset)
 		p.tryCandidates(w, r, cands, http.MethodPost, path, body, func(peer string, raw *client.RawResponse) {
 			if !isJob || raw.Status != http.StatusAccepted {
 				return
@@ -371,7 +377,155 @@ func (p *Proxy) handleJobByID(w http.ResponseWriter, r *http.Request) {
 // handleGetDataset routes dataset metadata by digest with failover.
 func (p *Proxy) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
-	p.tryCandidates(w, r, p.ring.candidates(digest), http.MethodGet, "/v1/datasets/"+digest, nil, nil)
+	p.tryCandidates(w, r, p.routeDigest(digest), http.MethodGet, "/v1/datasets/"+digest, nil, nil)
+}
+
+// routeDigest resolves a digest's ring candidates, following recorded
+// PATCH lineage: a successor created by PATCH lives on the replicas of
+// its root ancestor (where the patch was applied), not at its own ring
+// position, so requests for it must route by the root.
+func (p *Proxy) routeDigest(digest string) []string {
+	p.mu.Lock()
+	root := digest
+	for hops := 0; hops < 64; hops++ {
+		parent, ok := p.childOf[root]
+		if !ok {
+			break
+		}
+		root = parent
+	}
+	p.mu.Unlock()
+	return p.ring.candidates(root)
+}
+
+// handlePatchDataset routes a scene mutation by the parent digest with
+// ring failover, records the successor's lineage for later routing, and
+// replicates the patch to the remaining candidates. Content addressing
+// makes replication idempotent: applying the same ops to the same
+// parent derives the same successor digest on every peer.
+func (p *Proxy) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
+	if p.rejectDraining(w, r) {
+		return
+	}
+	body, ok := p.readBody(w, r)
+	if !ok {
+		return
+	}
+	digest := r.PathValue("digest")
+	path := "/v1/datasets/" + digest
+	cands := p.routeDigest(digest)
+	p.tryCandidates(w, r, cands, http.MethodPatch, path, body, func(winner string, raw *client.RawResponse) {
+		if raw.Status != http.StatusCreated {
+			return
+		}
+		var pr api.PatchResponse
+		if err := json.Unmarshal(raw.Body, &pr); err != nil || pr.Dataset.Digest == "" {
+			return
+		}
+		if pr.Dataset.Digest != digest {
+			p.mu.Lock()
+			p.childOf[pr.Dataset.Digest] = digest
+			p.mu.Unlock()
+		}
+		// Best-effort copies on the remaining candidates.
+		replicated := 1
+		idx := 0
+		for i, c := range cands {
+			if c == winner {
+				idx = i
+				break
+			}
+		}
+		for _, peer := range cands[idx+1:] {
+			if replicated >= p.opts.Replicas {
+				break
+			}
+			if raw2, err := p.forward(r, peer, http.MethodPatch, path, body); err == nil && raw2.Status < 300 {
+				replicated++
+				p.trace.Add("proxy.replicas", 1)
+			} else {
+				p.trace.Add("proxy.failovers", 1)
+			}
+		}
+		p.trace.Annotate("proxy.patch", fmt.Sprintf("parent=%s child=%s replicas=%d", digest[:min(12, len(digest))], pr.Dataset.Digest[:12], replicated))
+	})
+}
+
+// handleDeleteDataset fans a deletion out to every candidate holding a
+// replica, merging the per-peer invalidation counts into one response.
+// Any peer answering 200 makes the merged response a success; if none
+// held the dataset the last definitive answer (the 404) is relayed.
+func (p *Proxy) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	if p.rejectDraining(w, r) {
+		return
+	}
+	digest := r.PathValue("digest")
+	path := "/v1/datasets/" + digest
+	merged := api.DeleteResponse{Digest: digest}
+	var last *client.RawResponse
+	attempts := 0
+	for _, peer := range p.routeDigest(digest) {
+		attempts++
+		raw, err := p.forward(r, peer, http.MethodDelete, path, nil)
+		if err != nil || raw.Status >= 500 {
+			p.trace.Add("proxy.failovers", 1)
+			continue
+		}
+		last = raw
+		if raw.Status == http.StatusOK {
+			var dr api.DeleteResponse
+			if json.Unmarshal(raw.Body, &dr) == nil {
+				merged.Deleted = true
+				merged.ResultsInvalidated += dr.ResultsInvalidated
+			}
+		}
+	}
+	switch {
+	case merged.Deleted:
+		p.trace.Add("proxy.forwarded", 1)
+		writeJSON(w, http.StatusOK, merged)
+	case last != nil:
+		p.trace.Add("proxy.forwarded", 1)
+		respondRaw(w, last)
+	default:
+		p.trace.Add("proxy.errors", 1)
+		writeError(w, r, http.StatusBadGateway, api.CodeUpstream,
+			"no peer of %d could serve DELETE %s", attempts, path)
+	}
+}
+
+// handleListDatasets merges every peer's dataset listing, deduplicating
+// replicated digests, ordered by digest like a single node's answer.
+func (p *Proxy) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	seen := make(map[string]api.DatasetInfo)
+	reached := 0
+	for _, peer := range p.opts.Peers {
+		raw, err := p.forward(r, peer, http.MethodGet, "/v1/datasets", nil)
+		if err != nil || raw.Status != http.StatusOK {
+			p.trace.Add("proxy.failovers", 1)
+			continue
+		}
+		reached++
+		var list api.DatasetList
+		if json.Unmarshal(raw.Body, &list) != nil {
+			continue
+		}
+		for _, di := range list.Datasets {
+			seen[di.Digest] = di
+		}
+	}
+	if reached == 0 {
+		p.trace.Add("proxy.errors", 1)
+		writeError(w, r, http.StatusBadGateway, api.CodeUpstream, "no peer of %d could list datasets", len(p.opts.Peers))
+		return
+	}
+	list := api.DatasetList{Datasets: make([]api.DatasetInfo, 0, len(seen))}
+	for _, di := range seen {
+		list.Datasets = append(list.Datasets, di)
+	}
+	sort.Slice(list.Datasets, func(i, j int) bool { return list.Datasets[i].Digest < list.Datasets[j].Digest })
+	p.trace.Add("proxy.forwarded", 1)
+	writeJSON(w, http.StatusOK, list)
 }
 
 // handleHealthz reports the front's own liveness, marked role "front".

@@ -286,3 +286,67 @@ func asAPIErr(err error, target **client.APIError) bool {
 	}
 	return ok
 }
+
+// TestProxyPatchLineageRouting pins the delta pipeline across the ring
+// with Replicas 1: the parent scene lives on exactly one node, the
+// successor digest hashes to a (likely different) ring position, and
+// lineage routing must still send the successor's mine to the node
+// holding the parent — where it runs incrementally, proven by that
+// node's delta counters.
+func TestProxyPatchLineageRouting(t *testing.T) {
+	cl := newCluster(t, 1)
+	c := client.New(cl.frontTS.URL)
+	ctx := context.Background()
+
+	info, err := c.UploadDataset(ctx, api.KindScene, sampleSceneJSON(t))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	cfg := core.Config{Algorithm: core.AlgEclatKCPlus, MinSupport: 0.3}
+	if _, err := c.Mine(ctx, api.MineRequest{Dataset: info.Digest, Config: cfg}); err != nil {
+		t.Fatalf("mine parent: %v", err)
+	}
+
+	digest := info.Digest
+	for step := 0; step < 2; step++ {
+		pr, err := c.PatchDataset(ctx, digest, api.PatchRequest{Ops: []dataset.Op{
+			{Action: dataset.OpInsert, Layer: "slum", ID: "slumP" + string(rune('a'+step)), WKT: "POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))"},
+		}})
+		if err != nil {
+			t.Fatalf("patch step %d: %v", step, err)
+		}
+		resp, err := c.Mine(ctx, api.MineRequest{Dataset: pr.Dataset.Digest, Config: cfg})
+		if err != nil {
+			t.Fatalf("mine successor step %d: %v", step, err)
+		}
+		if resp.Transactions == 0 {
+			t.Fatalf("step %d: empty response %+v", step, resp)
+		}
+		digest = pr.Dataset.Digest
+	}
+
+	// Exactly one node owns the whole chain and patched both mines.
+	var patched, holders int64
+	for _, n := range cl.nodes {
+		cs := n.Metrics().Obs.Counters
+		patched += cs["delta.mine.patched"]
+		if cs["server.datasets.patches"] > 0 {
+			holders++
+		}
+	}
+	if patched != 2 {
+		t.Errorf("delta.mine.patched across cluster = %d, want 2", patched)
+	}
+	if holders != 1 {
+		t.Errorf("%d nodes served patches, want exactly 1 (replicas=1)", holders)
+	}
+
+	// Cluster-wide delete of the root removes the parent; the successors
+	// live on the same node and remain mineable from scratch.
+	if _, err := c.DeleteDataset(ctx, info.Digest); err != nil {
+		t.Fatalf("delete root: %v", err)
+	}
+	if _, err := c.Mine(ctx, api.MineRequest{Dataset: digest, Config: cfg}); err != nil {
+		t.Fatalf("mine orphaned successor: %v", err)
+	}
+}

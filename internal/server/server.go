@@ -14,7 +14,10 @@
 //
 //	POST   /v1/datasets/scene    upload a WKT-JSON scene      -> {digest,...}
 //	POST   /v1/datasets/table    upload a transaction CSV     -> {digest,...}
+//	GET    /v1/datasets          list stored datasets
 //	GET    /v1/datasets/{digest} dataset metadata
+//	PATCH  /v1/datasets/{digest} mutate a scene               -> successor digest
+//	DELETE /v1/datasets/{digest} delete + invalidate results
 //	POST   /v1/mine              mine synchronously           -> MineResponse
 //	POST   /v1/jobs              submit an async mining job   -> JobStatus (202)
 //	GET    /v1/jobs/{id}         poll job status/result
@@ -108,6 +111,7 @@ type Server struct {
 	opts      Options
 	store     *Store
 	cache     *ResultCache
+	deltas    *DeltaManager
 	jobs      *JobManager
 	flights   *flightGroup
 	batcher   *Batcher // nil when batching is disabled
@@ -133,6 +137,7 @@ func New(opts Options) *Server {
 		opts:      opts,
 		store:     NewStore(opts.StoreMaxEntries, opts.StoreMaxBytes),
 		cache:     NewResultCache(opts.CacheMaxEntries),
+		deltas:    newDeltaManager(),
 		trace:     obs.New(collector),
 		collector: collector,
 		started:   time.Now(),

@@ -3,6 +3,7 @@ package server
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"sort"
 	"sync"
 
 	"repro/api"
@@ -93,6 +94,32 @@ func (s *Store) Get(digest string) (*StoredDataset, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lru.get(digest)
+}
+
+// List snapshots every stored dataset's metadata, ordered by digest so
+// the listing is deterministic (and mergeable across cluster nodes).
+// Listing does not touch recency.
+func (s *Store) List() []*StoredDataset {
+	s.mu.Lock()
+	keys := s.lru.keys()
+	out := make([]*StoredDataset, 0, len(keys))
+	for _, k := range keys {
+		if el, ok := s.lru.items[k]; ok {
+			out = append(out, el.Value.(*lruEntry[string, *StoredDataset]).val)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
+	return out
+}
+
+// Delete removes the dataset stored under digest, reporting whether it
+// was present. Callers are responsible for invalidating any results
+// derived from it.
+func (s *Store) Delete(digest string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.remove(digest)
 }
 
 // StoreStats is the store's /metrics snapshot.

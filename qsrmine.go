@@ -178,6 +178,22 @@ type (
 	Table = dataset.Table
 	// Transaction is one row of a Table.
 	Transaction = dataset.Transaction
+	// Op is one dataset mutation (insert/update/delete of a feature).
+	Op = dataset.Op
+	// Mutation is an atomic batch of ops (the -mutate file format).
+	Mutation = dataset.Mutation
+	// ChangeSet is the structured diff between a dataset and its
+	// mutated successor, as produced by Dataset.ApplyOps.
+	ChangeSet = dataset.ChangeSet
+	// LayerDiff is the per-layer slice of a ChangeSet.
+	LayerDiff = dataset.LayerDiff
+)
+
+// Mutation op actions, the Op.Action values.
+const (
+	OpInsert = dataset.OpInsert
+	OpUpdate = dataset.OpUpdate
+	OpDelete = dataset.OpDelete
 )
 
 // Data model constructors and samples.
@@ -192,6 +208,9 @@ var (
 	LoadTable = dataset.LoadTableCSV
 	// ReadGeoJSONLayer parses a GeoJSON FeatureCollection into a layer.
 	ReadGeoJSONLayer = dataset.ReadGeoJSON
+	// LoadMutation reads a mutation batch ({"ops":[...]}) from a JSON
+	// file.
+	LoadMutation = dataset.LoadMutation
 	// PortoAlegreTable is the paper's Table 1, verbatim.
 	PortoAlegreTable = dataset.PortoAlegreTable
 	// PortoAlegreScene is a geometric scene extracting to Table 1.
@@ -206,6 +225,13 @@ type (
 	ExtractOptions = transact.Options
 	// Granularity selects type-level or instance-level predicates.
 	Granularity = transact.Granularity
+	// ExtractState is a reusable extraction state: a full extraction
+	// that can absorb dataset mutations incrementally via Apply,
+	// recomputing only the rows whose dirty region a change touches.
+	ExtractState = transact.State
+	// TableDelta describes what one Apply changed: the old→new row
+	// mapping plus per-row item edits, with reuse counters.
+	TableDelta = transact.TableDelta
 )
 
 // Extraction helpers.
@@ -217,6 +243,12 @@ var (
 	// DefaultExtractOptions is topological extraction at type
 	// granularity with R-tree acceleration.
 	DefaultExtractOptions = transact.DefaultOptions
+	// NewExtractState runs a full extraction and keeps the
+	// intermediate structures for incremental re-extraction.
+	NewExtractState = transact.NewState
+	// NewExtractStateContext is NewExtractState with cancellation and
+	// tracing.
+	NewExtractStateContext = transact.NewStateContext
 )
 
 // Extraction granularities.
