@@ -129,7 +129,19 @@ func randomOps(rng *rand.Rand, d *qsrmine.Dataset, nOps int, tag string) []qsrmi
 		}
 		f := layer.Features[rng.Intn(layer.Len())]
 		key := layer.Type + "/" + f.ID
-		switch rng.Intn(3) {
+		switch rng.Intn(4) {
+		case 3: // attribute update on a reference district: a numeric
+			// value shifts (or first creates) the crimeRate column's
+			// fitted discretizer cuts, so surviving rows re-render
+			rf := d.Reference.Features[rng.Intn(d.Reference.Len())]
+			rkey := d.Reference.Type + "/" + rf.ID
+			if touched[rkey] {
+				continue
+			}
+			ops = append(ops, qsrmine.Op{
+				Action: qsrmine.OpUpdate, Layer: d.Reference.Type, ID: rf.ID,
+				Attrs: map[string]qsrmine.Value{"crimeRate": rng.Float64() * 100},
+			})
 		case 0: // geometry update, possibly switching family
 			if touched[key] {
 				continue

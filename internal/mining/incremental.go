@@ -56,8 +56,11 @@ type PatchStats struct {
 // from scratch under cfg.
 //
 // Pass statistics are not re-derived on the incremental path: Stats is
-// empty and the PrunedDeps/PrunedSameFeature tallies are carried over
-// from prev (the filters and dictionary are unchanged by small edits).
+// empty. The PrunedDeps/PrunedSameFeature tallies are recomputed from
+// the patched database — they are a pure function of the frequent
+// 1-items and the pair filters (the count of filtered unordered pairs
+// at k=2, as the Apriori and Eclat engines define them), and edits can
+// change which single items are frequent.
 func PatchResultContext(ctx context.Context, db *itemset.DB, prev *Result, cfg Config, deltas []RowDelta) (*Result, PatchStats, error) {
 	var stats PatchStats
 	minCount, err := resolveMinSupport(db, cfg)
@@ -124,6 +127,7 @@ func PatchResultContext(ctx context.Context, db *itemset.DB, prev *Result, cfg C
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
 	}
+	prunedDeps, prunedSame := countPairPrunes(db, cfg, minCount)
 	tr.Add("delta.itemsets.patched", int64(stats.Patched))
 	tr.Add("delta.itemsets.dropped", int64(stats.Dropped))
 	tr.Add("delta.itemsets.discovered", int64(stats.Discovered))
@@ -132,9 +136,40 @@ func PatchResultContext(ctx context.Context, db *itemset.DB, prev *Result, cfg C
 		MinSupportCount:   minCount,
 		NumTransactions:   db.NumTransactions(),
 		Duration:          time.Since(start),
-		PrunedDeps:        prev.PrunedDeps,
-		PrunedSameFeature: prev.PrunedSameFeature,
+		PrunedDeps:        prunedDeps,
+		PrunedSameFeature: prunedSame,
 	}, stats, nil
+}
+
+// countPairPrunes recounts the k=2 pair-filter tallies over the patched
+// database: every unordered pair of frequent 1-items removed by the Φ
+// dependency set or the same-feature filter, dependency precedence
+// first — exactly what Apriori's C2 filterPairs and Eclat's root-level
+// walk count on a cold run.
+func countPairPrunes(db *itemset.DB, cfg Config, minCount int) (deps, same int) {
+	depSet := buildDepSet(db.Dict, cfg.Dependencies)
+	if len(depSet) == 0 && !cfg.FilterSameFeature {
+		return 0, 0
+	}
+	counts := db.ItemCounts()
+	f1 := make([]int32, 0, len(counts))
+	for id, c := range counts {
+		if c >= minCount {
+			f1 = append(f1, int32(id))
+		}
+	}
+	for i, a := range f1 {
+		for _, b := range f1[i+1:] {
+			if _, bad := depSet[[2]int32{a, b}]; bad {
+				deps++
+				continue
+			}
+			if cfg.FilterSameFeature && db.Dict.SameFeatureType(a, b) {
+				same++
+			}
+		}
+	}
+	return deps, same
 }
 
 // discoverNew walks the subsets of the changed rows' new item sets in

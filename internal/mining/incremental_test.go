@@ -54,6 +54,10 @@ func assertSameResult(t *testing.T, got *Result, gotDict *itemset.Dictionary, wa
 	if got.NumTransactions != want.NumTransactions {
 		t.Fatalf("numTransactions = %d, want %d", got.NumTransactions, want.NumTransactions)
 	}
+	if got.PrunedDeps != want.PrunedDeps || got.PrunedSameFeature != want.PrunedSameFeature {
+		t.Fatalf("prune tallies = (%d deps, %d same-feature), want (%d, %d)",
+			got.PrunedDeps, got.PrunedSameFeature, want.PrunedDeps, want.PrunedSameFeature)
+	}
 	g, w := resultByNames(got, gotDict), resultByNames(want, wantDict)
 	if len(got.Frequent) != len(g) || len(want.Frequent) != len(w) {
 		t.Fatalf("duplicate itemsets in a result: got %d/%d, want %d/%d",
@@ -197,6 +201,28 @@ func TestPatchResultFilters(t *testing.T) {
 	stats := runPatchEquivalence(t, cfg, prev, next, identityMap(len(prev)), []int{5})
 	if stats.Rewalk {
 		t.Fatalf("expected incremental path")
+	}
+}
+
+// TestPatchResultRecomputesPruneTallies makes an item of a same-feature
+// pair newly frequent, so the successor's k=2 prune tally differs from
+// the parent's; the patched result must report the successor's count
+// (assertSameResult compares the tallies against the oracle).
+func TestPatchResultRecomputesPruneTallies(t *testing.T) {
+	prev := [][]string{
+		{"contains_school", "touches_water"},
+		{"contains_school", "touches_water"},
+		{"contains_school", "closeTo_school"},
+		{"touches_water"},
+		{"contains_school"},
+		{"touches_water"},
+	}
+	next := append([][]string{}, prev...)
+	next[3] = []string{"touches_water", "closeTo_school"}
+	cfg := Config{MinSupport: 0.3, FilterSameFeature: true}
+	stats := runPatchEquivalence(t, cfg, prev, next, identityMap(len(prev)), []int{3})
+	if stats.Rewalk {
+		t.Fatalf("single edit of 6 rows should take the incremental path")
 	}
 }
 

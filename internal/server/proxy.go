@@ -70,10 +70,22 @@ type Proxy struct {
 	draining  atomic.Bool
 	logmu     sync.Mutex
 
+	// jobPeer (job ID -> peer base URL) and childOf (PATCH successor
+	// digest -> parent digest) are bounded LRUs, mirroring the node-side
+	// DeltaManager caches: a long-running front must not grow routing
+	// state without bound. Eviction only costs routing quality — an
+	// evicted job polls as 404, an evicted lineage record routes the
+	// successor by its own digest (a cold mine on another peer).
 	mu      sync.Mutex
-	jobPeer map[string]string // job ID -> peer base URL
-	childOf map[string]string // PATCH successor digest -> parent digest
+	jobPeer *lru[string, string]
+	childOf *lru[string, string]
 }
+
+// Caps for the front's routing LRUs.
+const (
+	proxyJobEntries     = 4096
+	proxyLineageEntries = 1024
+)
 
 // NewProxy assembles a front node for the given peers.
 func NewProxy(opts ProxyOptions) (*Proxy, error) {
@@ -117,8 +129,8 @@ func NewProxy(opts ProxyOptions) (*Proxy, error) {
 		trace:     obs.New(collector),
 		collector: collector,
 		started:   time.Now(),
-		jobPeer:   make(map[string]string),
-		childOf:   make(map[string]string),
+		jobPeer:   newLRU[string, string](proxyJobEntries, 0),
+		childOf:   newLRU[string, string](proxyLineageEntries, 0),
 	}
 	httpc := opts.HTTPClient
 	if httpc == nil {
@@ -346,7 +358,7 @@ func (p *Proxy) mineHandler(path string) http.HandlerFunc {
 			}
 			if err := json.Unmarshal(raw.Body, &st); err == nil && st.ID != "" {
 				p.mu.Lock()
-				p.jobPeer[st.ID] = peer
+				p.jobPeer.put(st.ID, peer, 0)
 				p.mu.Unlock()
 			}
 		})
@@ -358,7 +370,7 @@ func (p *Proxy) mineHandler(path string) http.HandlerFunc {
 func (p *Proxy) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	p.mu.Lock()
-	peer, ok := p.jobPeer[id]
+	peer, ok := p.jobPeer.get(id)
 	p.mu.Unlock()
 	if !ok {
 		writeError(w, r, http.StatusNotFound, api.CodeNotFound, "unknown job %q", id)
@@ -388,7 +400,7 @@ func (p *Proxy) routeDigest(digest string) []string {
 	p.mu.Lock()
 	root := digest
 	for hops := 0; hops < 64; hops++ {
-		parent, ok := p.childOf[root]
+		parent, ok := p.childOf.get(root)
 		if !ok {
 			break
 		}
@@ -424,7 +436,7 @@ func (p *Proxy) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 		}
 		if pr.Dataset.Digest != digest {
 			p.mu.Lock()
-			p.childOf[pr.Dataset.Digest] = digest
+			p.childOf.put(pr.Dataset.Digest, digest, 0)
 			p.mu.Unlock()
 		}
 		// Best-effort copies on the remaining candidates.
@@ -447,7 +459,8 @@ func (p *Proxy) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 				p.trace.Add("proxy.failovers", 1)
 			}
 		}
-		p.trace.Annotate("proxy.patch", fmt.Sprintf("parent=%s child=%s replicas=%d", digest[:min(12, len(digest))], pr.Dataset.Digest[:12], replicated))
+		p.trace.Annotate("proxy.patch", fmt.Sprintf("parent=%s child=%s replicas=%d",
+			digest[:min(12, len(digest))], pr.Dataset.Digest[:min(12, len(pr.Dataset.Digest))], replicated))
 	})
 }
 
@@ -548,7 +561,7 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // Metrics snapshots the front's routing state.
 func (p *Proxy) Metrics() api.Metrics {
 	p.mu.Lock()
-	tracked := len(p.jobPeer)
+	tracked := p.jobPeer.len()
 	p.mu.Unlock()
 	counters := p.trace.Counters()
 	return api.Metrics{

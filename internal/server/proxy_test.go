@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -348,5 +351,66 @@ func TestProxyPatchLineageRouting(t *testing.T) {
 	}
 	if _, err := c.Mine(ctx, api.MineRequest{Dataset: digest, Config: cfg}); err != nil {
 		t.Fatalf("mine orphaned successor: %v", err)
+	}
+}
+
+// TestProxyPatchShortDigestNoPanic pins the annotation guard in
+// handlePatchDataset: a misbehaving peer answering 201 with a truncated
+// successor digest must be relayed, recorded, and not panic the handler.
+func TestProxyPatchShortDigestNoPanic(t *testing.T) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		io.WriteString(w, `{"parent":"p","dataset":{"digest":"short"}}`)
+	}))
+	defer peer.Close()
+	front, err := NewProxy(ProxyOptions{Peers: []string{peer.URL}, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(front.Handler())
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodPatch, ts.URL+"/v1/datasets/deadbeef", bytes.NewReader([]byte(`{"ops":[]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("PATCH: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d, want 201", resp.StatusCode)
+	}
+	front.mu.Lock()
+	_, ok := front.childOf.get("short")
+	front.mu.Unlock()
+	if !ok {
+		t.Error("successor lineage not recorded")
+	}
+}
+
+// TestProxyRoutingStateBounded pins that the front's job and lineage
+// routing state is LRU-capped instead of growing without bound.
+func TestProxyRoutingStateBounded(t *testing.T) {
+	front, err := NewProxy(ProxyOptions{Peers: []string{"http://127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front.mu.Lock()
+	for i := 0; i < proxyJobEntries+100; i++ {
+		front.jobPeer.put(fmt.Sprintf("j-%d", i), "peer", 0)
+	}
+	for i := 0; i < proxyLineageEntries+100; i++ {
+		front.childOf.put(fmt.Sprintf("d-%d", i), "parent", 0)
+	}
+	jobs, lineage := front.jobPeer.len(), front.childOf.len()
+	front.mu.Unlock()
+	if jobs != proxyJobEntries {
+		t.Errorf("jobPeer entries = %d, want cap %d", jobs, proxyJobEntries)
+	}
+	if lineage != proxyLineageEntries {
+		t.Errorf("childOf entries = %d, want cap %d", lineage, proxyLineageEntries)
 	}
 }

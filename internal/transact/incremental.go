@@ -176,7 +176,7 @@ func NewStateContext(ctx context.Context, d *dataset.Dataset, opts Options) (*St
 	bufs := make([][]int, workers)
 	err = forEachRow(ctx, rows, workers, func(w, j int) {
 		var st refineStats
-		attr, spatial, pref, nCand := s.extractRowParts(d, j, &bufs[w], &st)
+		attr, spatial, pref, nCand := s.extractRowParts(d, s.cuts, j, &bufs[w], &st)
 		s.attr[j] = attr
 		s.spatial[j] = spatial
 		s.prepRef[j] = pref
@@ -352,7 +352,9 @@ func (s *State) Apply(ctx context.Context, nd *dataset.Dataset, cs *dataset.Chan
 					}
 				}
 				for _, id := range ld.Updated {
-					mark(oldLayer.Features[oldIdx[id]].Geometry.Envelope())
+					if oi, ok := oldIdx[id]; ok {
+						mark(oldLayer.Features[oi].Geometry.Envelope())
+					}
 					if ni, ok := layerFeatureIdx(newLayer, id); ok {
 						mark(newLayer.Features[ni].Geometry.Envelope())
 					}
@@ -416,7 +418,7 @@ func (s *State) Apply(ctx context.Context, nd *dataset.Dataset, cs *dataset.Chan
 	err = forEachRow(ctx, jobs, workers, func(w, j int) {
 		var st refineStats
 		if fullRow[j] {
-			attr, spatial, pref, _ := s.extractRowParts(nd, j, &bufs[w], &st)
+			attr, spatial, pref, _ := s.extractRowParts(nd, newCuts, j, &bufs[w], &st)
 			newAttr[j] = attr
 			newSpatial[j] = spatial
 			newPrepRef[j] = pref
@@ -527,11 +529,13 @@ func (s *State) Apply(ctx context.Context, nd *dataset.Dataset, cs *dataset.Chan
 	return delta, nil
 }
 
-// extractRowParts performs a full single-row extraction, returning the
-// non-spatial part, per-layer spatial parts, the prepared reference
-// geometry (nil when unprepared), and the candidate count.
-func (s *State) extractRowParts(d *dataset.Dataset, j int, buf *[]int, st *refineStats) ([]string, [][]string, *geom.Prepared, int64) {
-	attr := s.computeAttrPart(d, s.cuts, j)
+// extractRowParts performs a full single-row extraction under the given
+// fitted cuts, returning the non-spatial part, per-layer spatial parts,
+// the prepared reference geometry (nil when unprepared), and the
+// candidate count. The cuts are a parameter, not s.cuts: Apply renders
+// full rows under the successor's refit before committing it.
+func (s *State) extractRowParts(d *dataset.Dataset, cuts map[string]*FittedDiscretizer, j int, buf *[]int, st *refineStats) ([]string, [][]string, *geom.Prepared, int64) {
+	attr := s.computeAttrPart(d, cuts, j)
 	if !s.anyFamily {
 		return attr, make([][]string, len(d.Relevant)), nil, 0
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/dataset"
+	"repro/internal/geom"
 	"repro/internal/qsr"
 )
 
@@ -95,7 +96,19 @@ func randomSceneOps(rng *rand.Rand, d *dataset.Dataset, nOps int, tag string) []
 		}
 		f := layer.Features[rng.Intn(layer.Len())]
 		key := layer.Type + "/" + f.ID
-		switch rng.Intn(3) {
+		switch rng.Intn(4) {
+		case 3: // attribute update on a reference district: a numeric
+			// value shifts (or first creates) the crimeRate column's
+			// fitted cuts, exercising the refit path
+			rf := d.Reference.Features[rng.Intn(d.Reference.Len())]
+			rkey := d.Reference.Type + "/" + rf.ID
+			if deleted[rkey] {
+				continue
+			}
+			ops = append(ops, dataset.Op{
+				Action: dataset.OpUpdate, Layer: d.Reference.Type, ID: rf.ID,
+				Attrs: map[string]dataset.Value{"crimeRate": rng.Float64() * 100},
+			})
 		case 0: // update: replace with a nudged rectangle (pad degenerate
 			// point/line envelopes so the polygon stays valid)
 			if deleted[key] {
@@ -224,6 +237,53 @@ func verifyDelta(t *testing.T, delta *TableDelta, before, after *dataset.Table, 
 			t.Fatalf("step %d: deleted row %d items mismatch", step, del.Row)
 		}
 	}
+}
+
+// TestStateApplyAttributeShiftMatchesFromScratch pins the review repro:
+// an attribute edit that moves the fitted discretizer cuts, combined
+// with a geometry nudge on another reference feature. The nudged row
+// re-extracts fully and must render its (unchanged) numeric attribute
+// under the refit cuts — with stale cuts it keeps its old bin label and
+// diverges from a cold extraction.
+func TestStateApplyAttributeShiftMatchesFromScratch(t *testing.T) {
+	districts := dataset.NewLayer("district")
+	for i, pop := range []float64{1, 2, 3, 4} {
+		x := float64(i) * 10
+		districts.Add(dataset.Feature{
+			ID:       fmt.Sprintf("c%d", i),
+			Geometry: geom.Rect(x, 0, x+10, 10),
+			Attrs:    map[string]dataset.Value{"pop": pop},
+		})
+	}
+	schools := dataset.NewLayer("school")
+	schools.AddGeometry(geom.Pt(5, 5))
+	d := &dataset.Dataset{
+		Reference:       districts,
+		Relevant:        []*dataset.Layer{schools},
+		NonSpatialAttrs: []string{"pop"},
+	}
+	opts := Options{Topological: true, Index: RTreeIndex}
+	st, err := NewState(d, opts)
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	// pop 1 -> 100 moves the tercile cuts from [2,3] to [3,4]: c3's
+	// pop=4 drops from the high bin to the medium one.
+	nd, cs, err := d.ApplyOps([]dataset.Op{
+		{Action: dataset.OpUpdate, Layer: "district", ID: "c0", Attrs: map[string]dataset.Value{"pop": 100.0}},
+		{Action: dataset.OpUpdate, Layer: "district", ID: "c3", WKT: rectWKT(30.5, 0, 40.5, 10)},
+	})
+	if err != nil {
+		t.Fatalf("ApplyOps: %v", err)
+	}
+	if _, err := st.Apply(context.Background(), nd, cs); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	want, err := Extract(nd, opts)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	assertTablesEqual(t, st.Table(), want, "attribute shift")
 }
 
 func TestStateApplySingleEditIsSparse(t *testing.T) {

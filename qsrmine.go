@@ -174,6 +174,9 @@ type (
 	Layer = dataset.Layer
 	// Feature is one spatial object with attributes.
 	Feature = dataset.Feature
+	// Value is a non-spatial attribute value (string or numeric), the
+	// element type of Feature.Attrs and Op.Attrs.
+	Value = dataset.Value
 	// Table is a transaction table (the miner's direct input).
 	Table = dataset.Table
 	// Transaction is one row of a Table.
