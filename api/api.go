@@ -166,6 +166,11 @@ type JobStatus struct {
 	FinishedAt *time.Time    `json:"finishedAt,omitempty"`
 	Error      string        `json:"error,omitempty"`
 	Result     *MineResponse `json:"result,omitempty"`
+	// Lost marks a failed job that was in flight (or queued beyond
+	// recovery capacity) when the server crashed: the write-ahead journal
+	// recorded its start but no completion, so after a restart it is
+	// reported failed with this flag rather than silently vanishing.
+	Lost bool `json:"lost,omitempty"`
 }
 
 // Health is the liveness document (GET /v1/healthz). A draining node
@@ -180,6 +185,9 @@ type Health struct {
 	Role string `json:"role,omitempty"`
 	// Peers is the front node's configured peer count (front role only).
 	Peers int `json:"peers,omitempty"`
+	// Persist is "disk" on a node started with -data-dir; empty (memory
+	// only) otherwise.
+	Persist string `json:"persist,omitempty"`
 }
 
 // StoreStats is the dataset store's /v1/metrics snapshot.
@@ -205,6 +213,36 @@ type JobStats struct {
 	Done      int64 `json:"done"`
 	Failed    int64 `json:"failed"`
 	Cancelled int64 `json:"cancelled"`
+}
+
+// PersistStats is the persistence tier's /v1/metrics snapshot (nodes
+// started with -data-dir only).
+type PersistStats struct {
+	// Enabled is always true when the block is present.
+	Enabled bool `json:"enabled"`
+	// Datasets / Results count the artifact files currently on disk.
+	Datasets int `json:"datasets"`
+	Results  int `json:"results"`
+	// WALRecords counts journal records appended (and fsynced) by this
+	// process; WALTruncated counts torn journal tails dropped at replay.
+	WALRecords   int64 `json:"walRecords"`
+	WALTruncated int64 `json:"walTruncated,omitempty"`
+	// DatasetReloads counts datasets lazily re-parsed from disk after a
+	// store miss (typically after a restart or an LRU eviction).
+	DatasetReloads int64 `json:"datasetReloads"`
+	// ResultHits counts persisted results served after digest-chain
+	// verification; VerifyFailures counts corrupt or mismatched entries
+	// discarded (and recomputed) instead.
+	ResultHits     int64 `json:"resultHits"`
+	VerifyFailures int64 `json:"verifyFailures"`
+	// SaveErrors counts failed persistence writes (service degraded to
+	// memory-only for the affected artifact).
+	SaveErrors int64 `json:"saveErrors"`
+	// JobsRecovered / JobsLost tally the startup journal replay:
+	// re-enqueued never-started jobs and in-flight jobs marked failed
+	// with lost: true.
+	JobsRecovered int64 `json:"jobsRecovered"`
+	JobsLost      int64 `json:"jobsLost"`
 }
 
 // RingStats is the front node's routing snapshot (front role only).
@@ -236,12 +274,13 @@ type ObsCounters struct {
 // nodes and front routers. Fields a role does not populate decode to
 // their zero values.
 type Metrics struct {
-	Obs          ObsCounters `json:"obs"`
-	Store        StoreStats  `json:"store"`
-	Cache        CacheStats  `json:"cache"`
-	Jobs         JobStats    `json:"jobs"`
-	Ring         *RingStats  `json:"ring,omitempty"`
-	UptimeMillis int64       `json:"uptimeMillis"`
+	Obs          ObsCounters   `json:"obs"`
+	Store        StoreStats    `json:"store"`
+	Cache        CacheStats    `json:"cache"`
+	Jobs         JobStats      `json:"jobs"`
+	Persist      *PersistStats `json:"persist,omitempty"`
+	Ring         *RingStats    `json:"ring,omitempty"`
+	UptimeMillis int64         `json:"uptimeMillis"`
 }
 
 // ErrorCode is a machine-readable error class. Codes are stable API:

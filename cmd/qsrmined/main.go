@@ -9,6 +9,7 @@
 //	qsrmined -addr :8080
 //	qsrmined -addr :8080 -workers 4 -queue 128 -default-timeout 30s
 //	qsrmined -addr :8080 -batch-window 2ms -batch-max 32   # micro-batch small sync mines
+//	qsrmined -addr :8080 -data-dir /var/lib/qsrmined   # durable node: survive restarts
 //	qsrmined -addr :8090 -peers localhost:8081,localhost:8082   # front node: route, don't mine
 //	qsrmined -dump-sample scene.json   # write the Porto Alegre sample scene and exit
 //	qsrmined -version
@@ -46,6 +47,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/dataset"
 	"repro/internal/server"
+	"repro/internal/server/persist"
 )
 
 // errUsage marks command-line parse failures; the FlagSet has already
@@ -84,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		drainWait    = fs.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain deadline")
 		batchWindow  = fs.Duration("batch-window", 0, "micro-batch window for sync /v1/mine (0 = batching off)")
 		batchMax     = fs.Int("batch-max", 16, "maximum requests per micro-batch")
+		dataDir      = fs.String("data-dir", "", "directory for durable state (datasets, results, job journal); empty = memory-only")
 		peerList     = fs.String("peers", "", "comma-separated peer base URLs; non-empty makes this a routing front node")
 		replicas     = fs.Int("replicas", 2, "dataset replicas per digest (front node)")
 		accessLog    = fs.Bool("access-log", false, "log one line per request to stderr")
@@ -112,6 +115,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var node drainable
 	role := "node"
 	if *peerList != "" {
+		if *dataDir != "" {
+			fmt.Fprintln(stderr, "qsrmined: -data-dir applies to mining nodes; a -peers front node stores nothing")
+			fs.Usage()
+			return errUsage
+		}
 		peers := splitPeers(*peerList)
 		front, err := server.NewProxy(server.ProxyOptions{
 			Peers:          peers,
@@ -125,7 +133,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		node = front
 		role = fmt.Sprintf("front (%d peers, %d replicas)", len(peers), *replicas)
 	} else {
-		node = server.New(server.Options{
+		opts := server.Options{
 			Workers:         *workers,
 			QueueCap:        *queueCap,
 			StoreMaxEntries: *storeEntries,
@@ -136,7 +144,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 			BatchWindow:     *batchWindow,
 			BatchMax:        *batchMax,
 			AccessLog:       logw,
-		})
+		}
+		if *dataDir != "" {
+			dir, err := persist.Open(*dataDir)
+			if err != nil {
+				return fmt.Errorf("opening -data-dir: %w", err)
+			}
+			defer dir.Close()
+			opts.Persistence = dir
+			role = fmt.Sprintf("node (durable, data-dir %s)", *dataDir)
+		}
+		node = server.New(opts)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: node.Handler()}
 

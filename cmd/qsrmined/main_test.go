@@ -56,6 +56,17 @@ func TestRunDumpSampleFile(t *testing.T) {
 	}
 }
 
+func TestRunDataDirConflictsWithPeers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-peers", "localhost:8081", "-data-dir", t.TempDir()}, &stdout, &stderr)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("front node with -data-dir: err = %v, want errUsage", err)
+	}
+	if !strings.Contains(stderr.String(), "-data-dir") {
+		t.Errorf("stderr %q does not explain the conflict", stderr.String())
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	err := run([]string{"-no-such-flag"}, &stdout, &stderr)

@@ -118,8 +118,13 @@ func (s *Server) handleUploadScene(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
+	sd, err := s.store.PutScene(body, d)
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, api.CodeInternal, "%v", err)
+		return
+	}
 	s.trace.Add("server.datasets.scene_uploads", 1)
-	writeJSON(w, http.StatusCreated, infoOf(s.store.PutScene(body, d)))
+	writeJSON(w, http.StatusCreated, infoOf(sd))
 }
 
 // handleUploadTable stores a transaction-table CSV (refID,item,...).
@@ -140,8 +145,13 @@ func (s *Server) handleUploadTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "table has no transactions")
 		return
 	}
+	sd, err := s.store.PutTable(body, t)
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, api.CodeInternal, "%v", err)
+		return
+	}
 	s.trace.Add("server.datasets.table_uploads", 1)
-	writeJSON(w, http.StatusCreated, infoOf(s.store.PutTable(body, t)))
+	writeJSON(w, http.StatusCreated, infoOf(sd))
 }
 
 // handleGetDataset returns upload metadata for a stored digest.
@@ -208,7 +218,11 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusRequestEntityTooLarge, api.CodeTooLarge, "successor exceeds %d bytes", s.opts.MaxUploadBytes)
 		return
 	}
-	child := s.store.PutScene(buf.Bytes(), nd)
+	child, err := s.store.PutScene(buf.Bytes(), nd)
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, api.CodeInternal, "%v", err)
+		return
+	}
 	s.deltas.recordLineage(child.Digest, digest, cs)
 	s.trace.Add("server.datasets.patches", 1)
 	writeJSON(w, http.StatusCreated, api.PatchResponse{
@@ -219,8 +233,9 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleDeleteDataset removes a stored dataset and invalidates every
-// cached mining result and delta-pipeline artefact derived from it.
+// handleDeleteDataset removes a stored dataset — from memory and the
+// durable tier — and invalidates every cached mining result and
+// delta-pipeline artefact derived from it, persisted entries included.
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
 	if !s.store.Delete(digest) {
@@ -228,6 +243,9 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	invalidated := s.cache.InvalidateDataset(digest)
+	if s.persist != nil {
+		invalidated += s.persist.DeleteResults(digest)
+	}
 	s.deltas.forget(digest)
 	s.trace.Add("server.datasets.deletes", 1)
 	if invalidated > 0 {
@@ -371,6 +389,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeMillis: time.Since(s.started).Milliseconds(),
 		Role:         "node",
 	}
+	if s.persist != nil {
+		h.Persist = "disk"
+	}
 	status := http.StatusOK
 	if s.Draining() {
 		h.Status = "draining"
@@ -382,24 +403,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // ServerMetrics is the /metrics document: the obs snapshot (stage
 // spans, mining passes, counters — including the coalesce.*, batch.*
 // and eclat worker fan-out counters) plus the service-level
-// store/cache/job statistics.
+// store/cache/job statistics and, on a node with -data-dir, the
+// persistence-tier block.
 type ServerMetrics struct {
-	Obs          obs.Metrics    `json:"obs"`
-	Store        api.StoreStats `json:"store"`
-	Cache        api.CacheStats `json:"cache"`
-	Jobs         api.JobStats   `json:"jobs"`
-	UptimeMillis int64          `json:"uptimeMillis"`
+	Obs          obs.Metrics       `json:"obs"`
+	Store        api.StoreStats    `json:"store"`
+	Cache        api.CacheStats    `json:"cache"`
+	Jobs         api.JobStats      `json:"jobs"`
+	Persist      *api.PersistStats `json:"persist,omitempty"`
+	UptimeMillis int64             `json:"uptimeMillis"`
 }
 
 // Metrics snapshots the server state (also used by tests).
 func (s *Server) Metrics() ServerMetrics {
-	return ServerMetrics{
+	m := ServerMetrics{
 		Obs:          s.collector.Metrics(s.trace),
 		Store:        s.store.Stats(),
 		Cache:        s.cache.Stats(),
 		Jobs:         s.jobs.Stats(),
 		UptimeMillis: time.Since(s.started).Milliseconds(),
 	}
+	if s.persist != nil {
+		ps := s.persist.PersistStats()
+		ps.JobsRecovered, ps.JobsLost = s.jobs.RecoveryStats()
+		m.Persist = &ps
+	}
+	return m
 }
 
 // handleMetrics serves the metrics snapshot.

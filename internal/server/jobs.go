@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/api"
+	"repro/internal/server/persist"
 )
 
 // JobState is the lifecycle state of an async mining job.
@@ -45,6 +46,7 @@ type Job struct {
 	err      error
 	cancel   context.CancelFunc // non-nil while running
 	userStop bool               // DELETE /jobs/{id} was called
+	lost     bool               // failed because a crash interrupted it
 	done     chan struct{}      // closed on reaching a terminal state
 }
 
@@ -57,6 +59,9 @@ type JobStatus = api.JobStatus
 // JobManager runs submitted mining jobs on a bounded worker pool fed by
 // a bounded submission queue. Jobs are cancellable while queued or
 // running; Shutdown drains in-flight work under a caller deadline.
+// With a JobJournal attached (Recover), every state transition is
+// appended to the write-ahead journal — fsynced before the transition
+// is acknowledged — so a crashed process's successor can replay it.
 type JobManager struct {
 	run     func(context.Context, MineRequest) (*MineResponse, error)
 	baseCtx context.Context
@@ -70,6 +75,9 @@ type JobManager struct {
 	closed   bool
 	counts   map[JobState]int64 // terminal-state tallies + submissions
 	submits  int64
+	journal  JobJournal // nil = no durability
+	// Replay tallies (merged into the /metrics persist block).
+	recovered, lostJobs int64
 }
 
 // NewJobManager starts workers goroutines pulling from a queue of
@@ -122,8 +130,21 @@ func (m *JobManager) Submit(req MineRequest) (*Job, error) {
 	}
 	m.jobs[j.id] = j
 	m.submits++
+	// Journal before acknowledging: once the caller sees the 202, the
+	// submission is on disk (fsynced) and survives a crash.
+	m.appendLocked(persist.JobRecord{Type: persist.RecSubmitted, ID: j.id, Time: j.created, Req: &j.req})
 	m.mu.Unlock()
 	return j, nil
+}
+
+// appendLocked writes one journal record; the journal itself counts
+// write failures (durability degrades, service stays up). Callers hold
+// m.mu, which totally orders records with state transitions.
+func (m *JobManager) appendLocked(rec persist.JobRecord) {
+	if m.journal == nil {
+		return
+	}
+	_ = m.journal.AppendJob(rec)
 }
 
 // Get returns the job with the given ID.
@@ -179,6 +200,7 @@ func (m *JobManager) Status(j *Job) JobStatus {
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
+	st.Lost = j.lost
 	return st
 }
 
@@ -263,6 +285,7 @@ func (m *JobManager) runJob(j *Job) {
 	j.state = JobRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	m.appendLocked(persist.JobRecord{Type: persist.RecStarted, ID: j.id, Time: j.started})
 	m.mu.Unlock()
 	defer cancel()
 
@@ -289,5 +312,174 @@ func (m *JobManager) finishLocked(j *Job, state JobState, res *MineResponse, err
 	j.err = err
 	j.cancel = nil
 	m.counts[state]++
+	rec := persist.JobRecord{Type: persist.RecFinished, ID: j.id, Time: j.finished, State: state, Lost: j.lost}
+	if state == JobCancelled {
+		rec = persist.JobRecord{Type: persist.RecCancelled, ID: j.id, Time: j.finished}
+	} else if err != nil {
+		rec.Error = err.Error()
+	}
+	m.appendLocked(rec)
 	close(j.done)
+}
+
+// RecoveryStats reports the startup journal-replay tallies: jobs
+// re-enqueued and jobs marked lost.
+func (m *JobManager) RecoveryStats() (recovered, lost int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovered, m.lostJobs
+}
+
+// maxTerminalHistory bounds how many terminal jobs a journal
+// compaction carries across a restart, so job status survives exactly
+// as long as it is useful without the journal growing unboundedly.
+const maxTerminalHistory = 1024
+
+// Recover attaches the write-ahead journal and replays it: jobs that
+// were submitted but never started are re-enqueued under their
+// original IDs; jobs the journal shows in flight when the process died
+// are marked failed with a lost: true detail (their partial work is
+// unrecoverable, but the ID stays pollable); terminal jobs keep their
+// recorded state (without results — those live in the result cache,
+// verified by digest chain). The journal is then compacted to exactly
+// the retained records. Call once, before serving traffic.
+func (m *JobManager) Recover(journal JobJournal) error {
+	recs, err := journal.ReplayJobs()
+	if err != nil {
+		m.mu.Lock()
+		m.journal = journal
+		m.mu.Unlock()
+		return err
+	}
+	// Fold the append-ordered records by job ID.
+	type agg struct{ sub, started, fin *persist.JobRecord }
+	byID := make(map[string]*agg, len(recs))
+	var order []string
+	for i := range recs {
+		rec := &recs[i]
+		a := byID[rec.ID]
+		if a == nil {
+			a = &agg{}
+			byID[rec.ID] = a
+			order = append(order, rec.ID)
+		}
+		switch rec.Type {
+		case persist.RecSubmitted:
+			a.sub = rec
+		case persist.RecStarted:
+			a.started = rec
+		case persist.RecFinished:
+			a.fin = rec
+		case persist.RecCancelled:
+			fin := *rec
+			fin.Type = persist.RecFinished
+			fin.State = JobCancelled
+			a.fin = &fin
+		}
+	}
+	var terminal, requeue []*agg
+	for _, id := range order {
+		a := byID[id]
+		if a.sub == nil || a.sub.Req == nil {
+			continue // torn or foreign records without a submission
+		}
+		switch {
+		case a.fin != nil:
+			terminal = append(terminal, a)
+		case a.started != nil:
+			// In flight at the crash: synthesise the terminal record the
+			// process never got to write.
+			a.fin = &persist.JobRecord{
+				Type: persist.RecFinished, ID: id, Time: time.Now(),
+				State: JobFailed, Error: lostError.Error(), Lost: true,
+			}
+			terminal = append(terminal, a)
+		default:
+			requeue = append(requeue, a)
+		}
+	}
+	if len(terminal) > maxTerminalHistory {
+		terminal = terminal[len(terminal)-maxTerminalHistory:]
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keep := make([]persist.JobRecord, 0, 3*len(terminal)+len(requeue))
+	for _, a := range terminal {
+		j := &Job{
+			id:       a.sub.ID,
+			req:      *a.sub.Req,
+			state:    a.fin.State,
+			created:  a.sub.Time,
+			finished: a.fin.Time,
+			lost:     a.fin.Lost,
+			done:     closedChan(),
+		}
+		if a.started != nil {
+			j.started = a.started.Time
+		}
+		if a.fin.Error != "" {
+			j.err = errors.New(a.fin.Error)
+		} else if a.fin.State == JobCancelled {
+			j.err = context.Canceled
+		}
+		m.jobs[j.id] = j
+		m.counts[j.state]++
+		if j.lost {
+			m.lostJobs++
+		}
+		keep = append(keep, *a.sub)
+		if a.started != nil {
+			keep = append(keep, *a.started)
+		}
+		keep = append(keep, *a.fin)
+	}
+	// Queued-at-crash jobs re-enter the queue under their original IDs;
+	// their submitted records go into the compacted journal (re-pushing
+	// is not a new submission).
+	var overflow []*Job
+	for _, a := range requeue {
+		j := &Job{id: a.sub.ID, req: *a.sub.Req, state: JobQueued, created: a.sub.Time, done: make(chan struct{})}
+		m.jobs[j.id] = j
+		select {
+		case m.queue <- j:
+			m.submits++
+			m.recovered++
+			keep = append(keep, *a.sub)
+		default:
+			// No capacity left for this one: report it lost rather than
+			// let it vanish. Its terminal record lands after compaction.
+			overflow = append(overflow, j)
+		}
+	}
+	if err := journal.CompactJobs(keep); err != nil {
+		// Keep appending to the uncompacted journal: replay stays
+		// correct, merely longer.
+		err = fmt.Errorf("server: compacting job journal: %w", err)
+		m.journal = journal
+		for _, j := range overflow {
+			j.lost = true
+			m.lostJobs++
+			m.finishLocked(j, JobFailed, nil, errors.New("server: job queue full during crash recovery"))
+		}
+		return err
+	}
+	m.journal = journal
+	for _, j := range overflow {
+		j.lost = true
+		m.lostJobs++
+		m.finishLocked(j, JobFailed, nil, errors.New("server: job queue full during crash recovery"))
+	}
+	return nil
+}
+
+// lostError is the error a lost job reports after a crash recovery.
+var lostError = errors.New("server: job lost — the server restarted while it was in flight")
+
+// closedChan returns an already-closed done channel for jobs recovered
+// directly into a terminal state.
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
 }

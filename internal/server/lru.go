@@ -41,10 +41,12 @@ func (l *lru[K, V]) get(key K) (V, bool) {
 
 // put inserts (or refreshes) key with the given accounted size and
 // evicts least-recently-used entries until the caps hold again. It
-// returns the number of evicted entries. An entry larger than maxBytes
-// on its own is still stored — it simply evicts everything else; the
-// caller enforces per-upload limits.
-func (l *lru[K, V]) put(key K, val V, size int64) (evicted int) {
+// returns the evicted keys, oldest first, so owners can invalidate
+// state derived from them (nil when nothing was evicted). The inserted
+// or refreshed entry itself is never evicted: an entry larger than
+// maxBytes on its own is still stored — it simply evicts everything
+// else; the caller enforces per-upload limits.
+func (l *lru[K, V]) put(key K, val V, size int64) (evicted []K) {
 	if el, ok := l.items[key]; ok {
 		ent := el.Value.(*lruEntry[K, V])
 		l.bytes += size - ent.size
@@ -55,8 +57,9 @@ func (l *lru[K, V]) put(key K, val V, size int64) (evicted int) {
 		l.bytes += size
 	}
 	for l.ll.Len() > 1 && (l.overEntries() || l.overBytes()) {
-		l.removeOldest()
-		evicted++
+		if k, ok := l.removeOldest(); ok {
+			evicted = append(evicted, k)
+		}
 	}
 	return evicted
 }
@@ -64,16 +67,30 @@ func (l *lru[K, V]) put(key K, val V, size int64) (evicted int) {
 func (l *lru[K, V]) overEntries() bool { return l.maxEntries > 0 && l.ll.Len() > l.maxEntries }
 func (l *lru[K, V]) overBytes() bool   { return l.maxBytes > 0 && l.bytes > l.maxBytes }
 
-// removeOldest drops the least-recently-used entry.
-func (l *lru[K, V]) removeOldest() {
+// removeOldest drops the least-recently-used entry and reports which
+// key it held.
+func (l *lru[K, V]) removeOldest() (K, bool) {
 	el := l.ll.Back()
 	if el == nil {
-		return
+		var zero K
+		return zero, false
 	}
 	ent := el.Value.(*lruEntry[K, V])
 	l.ll.Remove(el)
 	delete(l.items, ent.key)
 	l.bytes -= ent.size
+	return ent.key, true
+}
+
+// peek returns the value for key without touching recency, so
+// enumeration (Store.List and wrappers around the lru) cannot perturb
+// the eviction order.
+func (l *lru[K, V]) peek(key K) (V, bool) {
+	if el, ok := l.items[key]; ok {
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
 }
 
 // remove drops key and reports whether it was present.

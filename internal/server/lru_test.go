@@ -1,0 +1,71 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLRUPutReportsEvictedOldestFirst(t *testing.T) {
+	l := newLRU[string, int](2, 0)
+	if ev := l.put("a", 1, 0); ev != nil {
+		t.Fatalf("under cap evicted %v", ev)
+	}
+	l.put("b", 2, 0)
+	if ev := l.put("c", 3, 0); !reflect.DeepEqual(ev, []string{"a"}) {
+		t.Errorf("evicted %v, want [a]", ev)
+	}
+	// A byte cap can push several entries out of one insert; they report
+	// oldest first so owners invalidate in eviction order.
+	l2 := newLRU[string, int](0, 10)
+	l2.put("a", 1, 4)
+	l2.put("b", 2, 4)
+	if ev := l2.put("c", 3, 9); !reflect.DeepEqual(ev, []string{"a", "b"}) {
+		t.Errorf("evicted %v, want [a b]", ev)
+	}
+}
+
+// TestLRUPeekDoesNotTouchRecency pins the Store.List fix: enumerating
+// entries must not perturb the eviction order the way get would.
+func TestLRUPeekDoesNotTouchRecency(t *testing.T) {
+	l := newLRU[string, int](2, 0)
+	l.put("old", 1, 0)
+	l.put("new", 2, 0)
+	if v, ok := l.peek("old"); !ok || v != 1 {
+		t.Fatalf("peek(old) = %d, %v", v, ok)
+	}
+	// Had peek refreshed "old", this insert would evict "new" instead.
+	if ev := l.put("next", 3, 0); !reflect.DeepEqual(ev, []string{"old"}) {
+		t.Errorf("after peek, evicted %v, want [old] (peek must not refresh)", ev)
+	}
+	if _, ok := l.peek("missing"); ok {
+		t.Error("peek invented a value")
+	}
+}
+
+// TestLRURefreshOverByteCapEvictsOldestNotRefreshed is the regression
+// test for re-upload growth: refreshing an existing key with a larger
+// size that pushes the cache over its byte cap must evict the oldest
+// entries — never the key just refreshed, even when it is alone.
+func TestLRURefreshOverByteCapEvictsOldestNotRefreshed(t *testing.T) {
+	l := newLRU[string, int](0, 10)
+	l.put("a", 1, 4)
+	l.put("b", 2, 4)
+	// Refresh "b" to a size that overflows the cap: "a" goes, "b" stays.
+	if ev := l.put("b", 22, 8); !reflect.DeepEqual(ev, []string{"a"}) {
+		t.Fatalf("refresh evicted %v, want [a]", ev)
+	}
+	if v, ok := l.peek("b"); !ok || v != 22 {
+		t.Fatalf("refreshed entry = %d, %v — evicted or stale", v, ok)
+	}
+	if l.size() != 8 {
+		t.Errorf("accounted bytes = %d, want 8", l.size())
+	}
+	// Even a lone entry larger than the whole cap is kept (the caller
+	// enforces per-upload limits); it must not evict itself.
+	if ev := l.put("b", 23, 99); ev != nil {
+		t.Errorf("lone oversized refresh evicted %v", ev)
+	}
+	if _, ok := l.peek("b"); !ok {
+		t.Error("oversized refresh evicted the refreshed key itself")
+	}
+}

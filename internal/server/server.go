@@ -72,6 +72,11 @@ type Options struct {
 	// AccessLog, when non-nil, receives one line per HTTP request
 	// (time, method, path, status, duration, request ID).
 	AccessLog io.Writer
+	// Persistence, when non-nil, is the durable tier behind the dataset
+	// store, the result cache, and the job manager (cmd/qsrmined wires a
+	// persist.Dir here for -data-dir). Nil keeps the historical
+	// memory-only behaviour, byte-identical.
+	Persistence Persistence
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +117,7 @@ type Server struct {
 	store     *Store
 	cache     *ResultCache
 	deltas    *DeltaManager
+	persist   Persistence // nil = memory-only
 	jobs      *JobManager
 	flights   *flightGroup
 	batcher   *Batcher // nil when batching is disabled
@@ -138,13 +144,41 @@ func New(opts Options) *Server {
 		store:     NewStore(opts.StoreMaxEntries, opts.StoreMaxBytes),
 		cache:     NewResultCache(opts.CacheMaxEntries),
 		deltas:    newDeltaManager(),
+		persist:   opts.Persistence,
 		trace:     obs.New(collector),
 		collector: collector,
 		started:   time.Now(),
 	}
+	if s.persist != nil {
+		s.store.Persist(s.persist)
+		s.cache.Persist(s.persist, s.trace)
+	}
+	// Capacity eviction must not leak derived state: a digest the LRU
+	// pushed out invalidates its cached results and delta-pipeline
+	// artefacts, exactly like an explicit DELETE (the durable tier, when
+	// present, is untouched — its entries are re-verified on load).
+	s.store.OnEvict(func(digests []string) {
+		for _, digest := range digests {
+			if n := s.cache.InvalidateDataset(digest); n > 0 {
+				s.trace.Add("server.cache.invalidated", int64(n))
+			}
+			s.deltas.forget(digest)
+		}
+	})
 	s.flights = newFlightGroup(s.trace)
 	s.baseCtx, s.stopBase = context.WithCancel(context.Background())
 	s.jobs = NewJobManager(s.baseCtx, opts.Workers, opts.QueueCap, s.runJob)
+	if s.persist != nil {
+		// Replay the write-ahead journal: never-started jobs re-enter the
+		// queue, in-flight ones are reported lost. Replay errors degrade
+		// durability, never startup.
+		if err := s.jobs.Recover(s.persist); err != nil {
+			s.trace.Add("server.persist.recover_errors", 1)
+		}
+		recovered, lost := s.jobs.RecoveryStats()
+		s.trace.Add("server.persist.jobs_recovered", recovered)
+		s.trace.Add("server.persist.jobs_lost", lost)
+	}
 	if opts.BatchWindow > 0 {
 		s.batcher = newBatcher(opts.BatchWindow, opts.BatchMax, s.trace, s.mine)
 	}

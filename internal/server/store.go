@@ -1,8 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -47,11 +49,16 @@ func Digest(body []byte) string {
 
 // Store holds uploaded datasets in memory, content-addressed, with LRU
 // eviction under an entry cap and a byte cap. Re-uploading identical
-// bytes is idempotent and refreshes recency. Safe for concurrent use.
+// bytes is idempotent and refreshes recency. With a DatasetPersistence
+// attached, uploads write through to disk and a memory miss lazily
+// re-parses the persisted bytes, so the LRU becomes a cache over a
+// durable tier instead of the only copy. Safe for concurrent use.
 type Store struct {
 	mu        sync.Mutex
 	lru       *lru[string, *StoredDataset]
 	evictions int64
+	persist   DatasetPersistence     // nil = memory-only
+	onEvict   func(digests []string) // called outside mu with LRU-evicted digests
 }
 
 // NewStore returns a Store with the given caps (0 = unlimited).
@@ -59,9 +66,19 @@ func NewStore(maxEntries int, maxBytes int64) *Store {
 	return &Store{lru: newLRU[string, *StoredDataset](maxEntries, maxBytes)}
 }
 
+// Persist attaches the durable tier. Set before serving traffic.
+func (s *Store) Persist(p DatasetPersistence) { s.persist = p }
+
+// OnEvict registers a callback receiving the digests the LRU evicted
+// (capacity pressure only — Delete is the caller's own act). The
+// server wires it to result-cache and delta-manager invalidation so an
+// evicted dataset cannot pin derived state. Set before serving
+// traffic; the callback runs without the store lock held.
+func (s *Store) OnEvict(fn func(digests []string)) { s.onEvict = fn }
+
 // PutScene stores a parsed scene under the digest of its upload body.
-func (s *Store) PutScene(body []byte, d *dataset.Dataset) *StoredDataset {
-	return s.put(&StoredDataset{
+func (s *Store) PutScene(body []byte, d *dataset.Dataset) (*StoredDataset, error) {
+	return s.put(body, &StoredDataset{
 		Digest: Digest(body),
 		Kind:   KindScene,
 		Scene:  d,
@@ -72,8 +89,8 @@ func (s *Store) PutScene(body []byte, d *dataset.Dataset) *StoredDataset {
 
 // PutTable stores a parsed transaction table under the digest of its
 // upload body.
-func (s *Store) PutTable(body []byte, t *dataset.Table) *StoredDataset {
-	return s.put(&StoredDataset{
+func (s *Store) PutTable(body []byte, t *dataset.Table) (*StoredDataset, error) {
+	return s.put(body, &StoredDataset{
 		Digest: Digest(body),
 		Kind:   KindTable,
 		Table:  t,
@@ -82,44 +99,122 @@ func (s *Store) PutTable(body []byte, t *dataset.Table) *StoredDataset {
 	})
 }
 
-func (s *Store) put(sd *StoredDataset) *StoredDataset {
+func (s *Store) put(body []byte, sd *StoredDataset) (*StoredDataset, error) {
+	if s.persist != nil {
+		// Write-through before the memory insert: an acknowledged upload
+		// is on disk, or the client hears about the failure.
+		if err := s.persist.SaveDataset(sd.Digest, body, sd.Kind, sd.Rows); err != nil {
+			return nil, err
+		}
+	}
+	s.insert(sd)
+	return sd, nil
+}
+
+// insert places sd in the LRU and dispatches eviction notifications.
+func (s *Store) insert(sd *StoredDataset) {
 	s.mu.Lock()
-	s.evictions += int64(s.lru.put(sd.Digest, sd, sd.Bytes))
+	evicted := s.lru.put(sd.Digest, sd, sd.Bytes)
+	s.evictions += int64(len(evicted))
 	s.mu.Unlock()
-	return sd
+	if len(evicted) > 0 && s.onEvict != nil {
+		s.onEvict(evicted)
+	}
 }
 
 // Get returns the dataset stored under digest, refreshing its recency.
+// On a memory miss with a durable tier attached, the persisted bytes
+// are re-parsed and re-admitted to the LRU, so datasets survive both
+// restarts and capacity evictions.
 func (s *Store) Get(digest string) (*StoredDataset, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lru.get(digest)
+	if sd, ok := s.lru.get(digest); ok {
+		s.mu.Unlock()
+		return sd, true
+	}
+	s.mu.Unlock()
+	if s.persist == nil {
+		return nil, false
+	}
+	sd, err := s.reload(digest)
+	if err != nil {
+		return nil, false
+	}
+	s.insert(sd)
+	return sd, true
+}
+
+// reload re-parses a persisted upload body (outside the store lock —
+// parsing a large scene must not stall unrelated requests).
+func (s *Store) reload(digest string) (*StoredDataset, error) {
+	body, kind, _, err := s.persist.LoadDataset(digest)
+	if err != nil {
+		return nil, err
+	}
+	sd := &StoredDataset{Digest: digest, Kind: kind, Bytes: int64(len(body))}
+	switch kind {
+	case KindScene:
+		d, err := dataset.ReadJSON(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("server: re-parsing persisted scene %s: %w", digest, err)
+		}
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("server: re-validating persisted scene %s: %w", digest, err)
+		}
+		sd.Scene, sd.Rows = d, d.Reference.Len()
+	case KindTable:
+		t, err := dataset.ReadTableCSV(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("server: re-parsing persisted table %s: %w", digest, err)
+		}
+		sd.Table, sd.Rows = t, t.Len()
+	default:
+		return nil, fmt.Errorf("server: persisted dataset %s has unknown kind %q", digest, kind)
+	}
+	return sd, nil
 }
 
 // List snapshots every stored dataset's metadata, ordered by digest so
 // the listing is deterministic (and mergeable across cluster nodes).
-// Listing does not touch recency.
+// Listing does not touch recency, and with a durable tier it includes
+// datasets currently evicted from memory (metadata from the sidecar,
+// no re-parse).
 func (s *Store) List() []*StoredDataset {
 	s.mu.Lock()
 	keys := s.lru.keys()
 	out := make([]*StoredDataset, 0, len(keys))
 	for _, k := range keys {
-		if el, ok := s.lru.items[k]; ok {
-			out = append(out, el.Value.(*lruEntry[string, *StoredDataset]).val)
+		if sd, ok := s.lru.peek(k); ok {
+			out = append(out, sd)
 		}
 	}
 	s.mu.Unlock()
+	if s.persist != nil {
+		inMemory := make(map[string]bool, len(out))
+		for _, sd := range out {
+			inMemory[sd.Digest] = true
+		}
+		for _, info := range s.persist.ListDatasets() {
+			if !inMemory[info.Digest] {
+				out = append(out, &StoredDataset{Digest: info.Digest, Kind: info.Kind, Rows: info.Rows, Bytes: info.Bytes})
+			}
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
 	return out
 }
 
-// Delete removes the dataset stored under digest, reporting whether it
-// was present. Callers are responsible for invalidating any results
-// derived from it.
+// Delete removes the dataset stored under digest — from memory and the
+// durable tier — reporting whether it was present in either. Callers
+// are responsible for invalidating any results derived from it.
 func (s *Store) Delete(digest string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lru.remove(digest)
+	ok := s.lru.remove(digest)
+	s.mu.Unlock()
+	if s.persist != nil && s.persist.DeleteDataset(digest) {
+		ok = true
+	}
+	return ok
 }
 
 // StoreStats is the store's /metrics snapshot.

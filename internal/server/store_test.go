@@ -22,10 +22,21 @@ func mustTable(t *testing.T, body []byte) *dataset.Table {
 	return tab
 }
 
+// putTable uploads body as a table, failing the test on a persistence
+// error (impossible for the memory-only stores used here).
+func putTable(t *testing.T, s *Store, body []byte) *StoredDataset {
+	t.Helper()
+	sd, err := s.PutTable(body, mustTable(t, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sd
+}
+
 func TestStoreContentAddressing(t *testing.T) {
 	s := NewStore(0, 0)
 	body := tableBody("r")
-	sd := s.PutTable(body, mustTable(t, body))
+	sd := putTable(t, s, body)
 	if len(sd.Digest) != 64 {
 		t.Fatalf("digest %q is not hex sha256", sd.Digest)
 	}
@@ -33,7 +44,7 @@ func TestStoreContentAddressing(t *testing.T) {
 		t.Errorf("stored metadata = %+v", sd)
 	}
 	// Identical bytes address the same entry (idempotent re-upload).
-	again := s.PutTable(body, mustTable(t, body))
+	again := putTable(t, s, body)
 	if again.Digest != sd.Digest {
 		t.Error("identical upload produced a different digest")
 	}
@@ -50,7 +61,10 @@ func TestStoreContentAddressing(t *testing.T) {
 	// A scene upload is distinguishable by kind.
 	scene := dataset.PortoAlegreScene()
 	sceneBody := []byte("scene-bytes")
-	ssd := s.PutScene(sceneBody, scene)
+	ssd, err := s.PutScene(sceneBody, scene)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ssd.Kind != KindScene || ssd.Rows != scene.Reference.Len() {
 		t.Errorf("scene metadata = %+v", ssd)
 	}
@@ -61,7 +75,7 @@ func TestStoreLRUEvictionByEntries(t *testing.T) {
 	bodies := [][]byte{tableBody("a"), tableBody("b"), tableBody("c")}
 	var digests []string
 	for _, b := range bodies {
-		digests = append(digests, s.PutTable(b, mustTable(t, b)).Digest)
+		digests = append(digests, putTable(t, s, b).Digest)
 	}
 	if st := s.Stats(); st.Entries != 2 || st.Evictions != 1 {
 		t.Fatalf("stats = %+v, want 2 entries / 1 eviction", st)
@@ -77,7 +91,7 @@ func TestStoreLRUEvictionByEntries(t *testing.T) {
 	// Touching an entry protects it from the next eviction.
 	s.Get(digests[1])
 	b := tableBody("d")
-	s.PutTable(b, mustTable(t, b))
+	putTable(t, s, b)
 	if _, ok := s.Get(digests[1]); !ok {
 		t.Error("recently used entry was evicted ahead of the older one")
 	}
@@ -90,13 +104,13 @@ func TestStoreLRUEvictionByBytes(t *testing.T) {
 	small := tableBody("aa") // distinct bodies, equal length
 	other := tableBody("bb")
 	s := NewStore(0, int64(len(small)+len(other)))
-	s.PutTable(small, mustTable(t, small))
-	s.PutTable(other, mustTable(t, other))
+	putTable(t, s, small)
+	putTable(t, s, other)
 	if st := s.Stats(); st.Evictions != 0 {
 		t.Fatalf("under the byte cap, no eviction expected: %+v", st)
 	}
 	third := tableBody("cc")
-	s.PutTable(third, mustTable(t, third))
+	putTable(t, s, third)
 	st := s.Stats()
 	if st.Evictions != 1 || st.Bytes > int64(len(small)+len(other)) {
 		t.Errorf("byte cap not enforced: %+v", st)
