@@ -18,6 +18,7 @@ package api
 import (
 	"time"
 
+	"repro/internal/colocation"
 	"repro/internal/core"
 	"repro/internal/dataset"
 )
@@ -100,6 +101,28 @@ type MineRequest struct {
 	// TimeoutMillis bounds this request's wall time; 0 uses the server
 	// default.
 	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+	// Colocate, when set, makes this a co-location request: the scene's
+	// feature types are mined for prevalent co-located sets under
+	// Colocate's distance/minPI instead of running the transaction
+	// pipeline, and Config is ignored. POST /v1/colocate fills this
+	// internally; it also keys the result cache, the single-flight
+	// group, and the job journal, which is why the one request type
+	// carries both workloads.
+	Colocate *colocation.Config `json:"colocate,omitempty"`
+}
+
+// ColocateRequest is the body of POST /v1/colocate and POST
+// /v1/colocate/jobs: which stored scene to mine and the co-location
+// configuration (neighborhood distance, minimum participation index,
+// optional size cap and worker fan-out).
+type ColocateRequest struct {
+	// Dataset is the digest returned by a scene upload.
+	Dataset string `json:"dataset"`
+	// Config is the co-location configuration.
+	Config colocation.Config `json:"config"`
+	// TimeoutMillis bounds this request's wall time; 0 uses the server
+	// default.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
 }
 
 // MineResponse is the mining result: the frequent itemsets (all sizes),
@@ -119,6 +142,42 @@ type MineResponse struct {
 	// single-flight leader) are not marked cached: they shared the one
 	// computation and are byte-identical to the leader's response.
 	Cached bool `json:"cached,omitempty"`
+	// Colocation carries the co-location result when the request was a
+	// co-location mine (Algorithm "colocation"); the transaction fields
+	// above are then zero. Persisted results hash the whole response,
+	// so this block participates in the digest chain like any other.
+	Colocation *ColocationResult `json:"colocation,omitempty"`
+}
+
+// ColocationResult is the co-location block of a MineResponse: the
+// prevalent feature-type sets with their participation indices, plus
+// the neighborhood-materialization counters.
+type ColocationResult struct {
+	// Distance and MinPI echo the mined configuration.
+	Distance float64 `json:"distance"`
+	MinPI    float64 `json:"minPI"`
+	// Types are the feature types considered (those with instances).
+	Types []string `json:"types"`
+	// Instances is the total instance count across Types.
+	Instances int `json:"instances"`
+	// CandidatePairs / RefinedPairs count the R-tree filter stage's
+	// candidate neighbor pairs and the pairs surviving exact distance
+	// refinement.
+	CandidatePairs int64 `json:"candidatePairs"`
+	RefinedPairs   int64 `json:"refinedPairs"`
+	// Prevalent are the patterns with PI >= MinPI, sorted by size then
+	// lexicographically by type names.
+	Prevalent []ColocationPattern `json:"prevalent"`
+}
+
+// ColocationPattern is one prevalent co-location.
+type ColocationPattern struct {
+	Types []string `json:"types"`
+	// ParticipationIndex is min over the pattern's types of the
+	// fraction of that type's instances in at least one row instance.
+	ParticipationIndex float64 `json:"participationIndex"`
+	// RowInstances counts the pattern's supporting neighbor cliques.
+	RowInstances int `json:"rowInstances"`
 }
 
 // ItemsetResult is one frequent itemset with its absolute support.

@@ -290,6 +290,27 @@ func (c *Client) Mine(ctx context.Context, req api.MineRequest) (*api.MineRespon
 	return &resp, nil
 }
 
+// Colocate runs a synchronous co-location mining request; the result's
+// Colocation block carries the prevalent feature-type sets.
+func (c *Client) Colocate(ctx context.Context, req api.ColocateRequest) (*api.MineResponse, error) {
+	var resp api.MineResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/colocate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SubmitColocateJob enqueues an async co-location job; poll and cancel
+// it through the shared /v1/jobs/{id} surface (PollJob, WaitJob,
+// CancelJob).
+func (c *Client) SubmitColocateJob(ctx context.Context, req api.ColocateRequest) (*api.JobStatus, error) {
+	var st api.JobStatus
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/colocate/jobs", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
 // SubmitJob enqueues an async mining job and returns its initial
 // status (state queued or running).
 func (c *Client) SubmitJob(ctx context.Context, req api.MineRequest) (*api.JobStatus, error) {

@@ -1,0 +1,81 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/colocation"
+	"repro/internal/dataset"
+)
+
+// TestClientColocate drives co-location mining through the typed
+// client: sync endpoint, async job, and the shared result cache
+// between the two.
+func TestClientColocate(t *testing.T) {
+	c := newNode(t)
+	ctx := context.Background()
+
+	var scene bytes.Buffer
+	if err := dataset.PortoAlegreScene().WriteJSON(&scene); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.UploadDataset(ctx, api.KindScene, scene.Bytes())
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+
+	req := api.ColocateRequest{Dataset: info.Digest, Config: colocation.Config{Distance: 3, MinPI: 0.2}}
+	resp, err := c.Colocate(ctx, req)
+	if err != nil {
+		t.Fatalf("colocate: %v", err)
+	}
+	if resp.Algorithm != "colocation" || resp.Colocation == nil || len(resp.Colocation.Prevalent) == 0 {
+		t.Fatalf("colocate response = %+v", resp)
+	}
+
+	st, err := c.SubmitColocateJob(ctx, req)
+	if err != nil {
+		t.Fatalf("submit colocate job: %v", err)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	final, err := c.WaitJob(waitCtx, st.ID, time.Millisecond)
+	if err != nil || final.State != api.JobDone || final.Result == nil {
+		t.Fatalf("WaitJob = %+v, %v", final, err)
+	}
+	// Identical request: the sync run already filled the cache.
+	if !final.Result.Cached {
+		t.Errorf("async colocate did not hit the shared cache: %+v", final.Result)
+	}
+	if len(final.Result.Colocation.Prevalent) != len(resp.Colocation.Prevalent) {
+		t.Errorf("async result diverged from sync: %+v vs %+v",
+			final.Result.Colocation, resp.Colocation)
+	}
+}
+
+// TestClientColocateErrors: the colocate endpoint's failures surface
+// as typed APIErrors like every other endpoint's.
+func TestClientColocateErrors(t *testing.T) {
+	c := newNode(t)
+	ctx := context.Background()
+
+	_, err := c.Colocate(ctx, api.ColocateRequest{Dataset: "beef", Config: colocation.Config{Distance: 1, MinPI: 0.5}})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || !client.IsNotFound(err) {
+		t.Fatalf("unknown dataset: err = %T %v, want not-found APIError", err, err)
+	}
+
+	info, err := c.UploadDataset(ctx, api.KindTable, []byte("r1,a,b\nr2,a,c\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Colocate(ctx, api.ColocateRequest{Dataset: info.Digest, Config: colocation.Config{Distance: 1, MinPI: 0.5}})
+	if !errors.As(err, &ae) || ae.Code != api.CodeConfigInvalid {
+		t.Fatalf("table dataset: err = %v, want config_invalid", err)
+	}
+}

@@ -10,6 +10,7 @@
 //	experiments -bench-json BENCH_mining.json   # machine-readable mining benchmarks
 //	experiments -bench-extract-json BENCH_extract.json   # spatial-join extraction benchmarks
 //	experiments -bench-incremental-json BENCH_incremental.json   # delta vs from-scratch re-extraction
+//	experiments -bench-colocation-json BENCH_colocation.json   # co-location mining workloads
 //	experiments -bench-diff .                   # perf gate: re-measure vs committed baselines
 //	experiments -bench-diff . -update-baseline  # refresh the committed baselines
 package main
@@ -33,7 +34,8 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "measure the Figure 4-7 mining workloads and write JSON results (ns/op, allocs/op, pass stats) to this file, then exit")
 	benchExtractJSON := flag.String("bench-extract-json", "", "measure the spatial-join extraction workloads (per-pair relate and whole-scene extraction, prepared vs unprepared) and write JSON results to this file, then exit")
 	benchIncrementalJSON := flag.String("bench-incremental-json", "", "measure incremental re-extraction against from-scratch extraction over deterministic mutation chains and write JSON results to this file, then exit")
-	benchDiff := flag.String("bench-diff", "", "re-measure the mining and extraction workloads and compare ns/op against the committed baselines (BENCH_mining.json, BENCH_extract.json) in this directory; exit 1 when a workload regresses beyond the tolerance or disappears")
+	benchColocationJSON := flag.String("bench-colocation-json", "", "measure the co-location mining workloads (scene size x distance x minPI x parallelism) and write JSON results to this file, then exit")
+	benchDiff := flag.String("bench-diff", "", "re-measure the mining, extraction, and co-location workloads and compare ns/op against the committed baselines (BENCH_mining.json, BENCH_extract.json, BENCH_colocation.json) in this directory; exit 1 when a workload regresses beyond the tolerance or disappears")
 	updateBaseline := flag.Bool("update-baseline", false, "with -bench-diff: rewrite the baseline files from the fresh measurements instead of comparing")
 	flag.Parse()
 
@@ -53,6 +55,13 @@ func main() {
 	}
 	if *benchIncrementalJSON != "" {
 		if err := writeTo(*benchIncrementalJSON, experiments.WriteIncrementalBenchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchColocationJSON != "" {
+		if err := writeTo(*benchColocationJSON, experiments.WriteColocationBenchJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -126,6 +135,7 @@ func runBenchDiff(dir string, update bool) error {
 	}{
 		{"BENCH_mining.json", experiments.WriteMiningBenchJSON},
 		{"BENCH_extract.json", experiments.WriteExtractBenchJSON},
+		{"BENCH_colocation.json", experiments.WriteColocationBenchJSON},
 	}
 	failed := false
 	for _, s := range suites {

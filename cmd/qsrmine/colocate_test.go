@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunColocateSample: -colocate on the sample scene prints the
+// co-location report, and the result is independent of -parallelism.
+func TestRunColocateSample(t *testing.T) {
+	var base bytes.Buffer
+	var stderr bytes.Buffer
+	if err := run([]string{"-sample", "-colocate", "-dist", "3", "-minpi", "0.2"}, &base, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := base.String()
+	for _, want := range []string{"co-location mining:", "prevalent patterns:", "PI "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "frequent itemsets") {
+		t.Error("-colocate must not run transaction mining")
+	}
+
+	// Same flags at -parallelism 4: identical patterns (the timing line
+	// differs, so compare everything after it).
+	var par bytes.Buffer
+	if err := run([]string{"-sample", "-colocate", "-dist", "3", "-minpi", "0.2", "-parallelism", "4"}, &par, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if basePat, parPat := afterTimingLine(out), afterTimingLine(par.String()); basePat != parPat {
+		t.Errorf("patterns differ across parallelism:\n--- par=default\n%s\n--- par=4\n%s", basePat, parPat)
+	}
+}
+
+// afterTimingLine drops everything up to and including the wall-time
+// line, leaving only deterministic output.
+func afterTimingLine(s string) string {
+	_, rest, ok := strings.Cut(s, "mining time:")
+	if !ok {
+		return s
+	}
+	_, rest, _ = strings.Cut(rest, "\n")
+	return rest
+}
+
+// TestRunColocateJSON: -format json emits the wire-shaped schema with
+// sorted prevalent patterns.
+func TestRunColocateJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-sample", "-colocate", "-dist", "3", "-minpi", "0.2", "-format", "json"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Distance  float64 `json:"distance"`
+		MinPI     float64 `json:"minPI"`
+		Instances int     `json:"instances"`
+		Prevalent []struct {
+			Types              []string `json:"types"`
+			ParticipationIndex float64  `json:"participationIndex"`
+			RowInstances       int      `json:"rowInstances"`
+		} `json:"prevalent"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &got); err != nil {
+		t.Fatalf("output is not the colocate JSON schema: %v\n%s", err, stdout.String())
+	}
+	if got.Distance != 3 || got.MinPI != 0.2 || got.Instances == 0 || len(got.Prevalent) == 0 {
+		t.Fatalf("unexpected JSON result: %+v", got)
+	}
+	for _, p := range got.Prevalent {
+		if len(p.Types) == 0 || p.ParticipationIndex < 0.2 || p.RowInstances == 0 {
+			t.Errorf("implausible pattern %+v", p)
+		}
+	}
+}
+
+// TestRunColocateFlagErrors: the -colocate flag combinations that must
+// be rejected before any mining happens.
+func TestRunColocateFlagErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-table", "x.csv", "-colocate"}, "geometric scene"},
+		{[]string{"-sample", "-colocate", "-mutate", "edits.json"}, "mutually exclusive"},
+		{[]string{"-sample", "-colocate", "-dist", "-1"}, "distance"},
+		{[]string{"-sample", "-colocate", "-minpi", "0"}, "minPI"},
+		{[]string{"-sample", "-colocate", "-format", "sideways"}, "sideways"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		err := run(tc.args, &stdout, &stderr)
+		if err == nil {
+			t.Errorf("run(%q) succeeded, want error", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%q) error %q, want mention of %q", tc.args, err, tc.want)
+		}
+		if stdout.String() != "" && strings.Contains(stdout.String(), "co-location") {
+			t.Errorf("run(%q) mined before failing: %q", tc.args, stdout.String())
+		}
+	}
+}

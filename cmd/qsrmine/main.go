@@ -10,6 +10,7 @@
 //	qsrmine -data city.json -deps "contains_street:contains_illuminationPoint,..."
 //	qsrmine -data city.json -alg eclat -parallelism 8   # shard the mining fan-out
 //	qsrmine -data city.json -mutate edits.json          # apply edits, re-extract incrementally
+//	qsrmine -data city.json -colocate -dist 2 -minpi 0.4   # co-location mining (participation index)
 //	qsrmine -sample -trace                  # per-stage wall time + per-pass counts
 //	qsrmine -sample -json-metrics           # machine-readable stage/pass metrics
 //	qsrmine -data city.json -timeout 30s    # abort runaway low-support runs
@@ -67,7 +68,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		trace     = fs.Bool("trace", false, "stream per-stage wall time and per-pass counts to stderr")
 		jsonMet   = fs.Bool("json-metrics", false, "print stage/pass/counter metrics as JSON after the results")
 		timeout   = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
-		parallel  = fs.Int("parallelism", 0, "mining worker fan-out for all engines (apriori counting pool, eclat walk): 1 = sequential, 0 = GOMAXPROCS")
+		parallel  = fs.Int("parallelism", 0, "mining worker fan-out for all engines (apriori counting pool, eclat walk, co-location candidate expansion): 1 = sequential, 0 = GOMAXPROCS")
+		colocate  = fs.Bool("colocate", false, "mine spatial co-location patterns (prevalent feature-type sets under -dist, measured by the participation index) instead of transaction itemsets")
+		dist      = fs.Float64("dist", 1.0, "co-location neighborhood distance threshold (-colocate)")
+		minPI     = fs.Float64("minpi", 0.3, "minimum participation index in (0, 1] (-colocate)")
+		colocMax  = fs.Int("coloc-maxsize", 0, "largest co-location size to mine, 0 = unlimited (-colocate)")
 		version   = fs.Bool("version", false, "print version and exit")
 	)
 	// Algorithm and PostFilter implement encoding.TextMarshaler /
@@ -147,6 +152,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 		}
+		if *colocate {
+			if *mutate != "" {
+				return fmt.Errorf("-colocate and -mutate are mutually exclusive")
+			}
+			ccfg := qsrmine.ColocationConfig{
+				Distance:    *dist,
+				MinPI:       *minPI,
+				MaxSize:     *colocMax,
+				Parallelism: *parallel,
+			}
+			if err := runColocate(ctx, stdout, stderr, ds, ccfg, *format, *maxShow, *trace, collector, tr); err != nil {
+				return err
+			}
+			return nil
+		}
 		if *mutate != "" {
 			out, err = runMutated(ctx, ds, *mutate, cfg)
 		} else {
@@ -155,6 +175,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case *tablePath != "":
 		if *mutate != "" {
 			return fmt.Errorf("-mutate needs a geometric scene (-data or -sample), not -table")
+		}
+		if *colocate {
+			return fmt.Errorf("-colocate needs a geometric scene (-data or -sample), not -table")
 		}
 		table, loadErr := qsrmine.LoadTable(*tablePath)
 		if loadErr != nil {
@@ -221,6 +244,87 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return writeMetrics(stdout, collector, tr)
+}
+
+// runColocate is the -colocate mode: co-location mining over the
+// scene's layers, with the same text/json output split and metrics
+// plumbing as transaction mining.
+func runColocate(ctx context.Context, stdout, stderr io.Writer, ds *qsrmine.Dataset, cfg qsrmine.ColocationConfig, format string, maxShow int, trace bool, collector *qsrmine.TraceCollector, tr *qsrmine.Trace) error {
+	res, err := qsrmine.ColocateContext(ctx, ds, cfg)
+	if err != nil {
+		return err
+	}
+	if trace {
+		fmt.Fprint(stderr, qsrmine.FormatTraceCounters(tr.Counters()))
+	}
+	switch format {
+	case "json":
+		if err := writeColocateJSON(stdout, res); err != nil {
+			return err
+		}
+		return writeMetrics(stdout, collector, tr)
+	case "text":
+	default:
+		return fmt.Errorf("unknown format %q (want text or json)", format)
+	}
+	fmt.Fprintf(stdout, "co-location mining:    distance %v, min PI %v\n", res.Distance, res.MinPI)
+	fmt.Fprintf(stdout, "feature types:         %d (%d instances)\n", len(res.Types), res.Instances)
+	fmt.Fprintf(stdout, "neighbor pairs:        %d candidates -> %d within distance\n", res.CandidatePairs, res.RefinedPairs)
+	fmt.Fprintf(stdout, "prevalent patterns:    %d (of %d candidate sets)\n", len(res.Prevalent), res.Candidates)
+	fmt.Fprintf(stdout, "mining time:           %v\n", res.Duration)
+	fmt.Fprintln(stdout)
+	for i, p := range res.Prevalent {
+		if maxShow > 0 && i >= maxShow {
+			fmt.Fprintf(stdout, "... (%d more)\n", len(res.Prevalent)-i)
+			break
+		}
+		fmt.Fprintf(stdout, "  {%s}%*s PI %.3f  rows %d\n",
+			strings.Join(p.Types, ", "), max(1, 50-len(strings.Join(p.Types, ", "))), "", p.PI, p.Rows)
+	}
+	return writeMetrics(stdout, collector, tr)
+}
+
+// colocJSONOutput is the -colocate machine-readable schema; its
+// prevalent entries use the same field names as the /v1/colocate wire
+// form, so CLI and daemon output compare directly.
+type colocJSONOutput struct {
+	Distance       float64         `json:"distance"`
+	MinPI          float64         `json:"minPI"`
+	Types          []string        `json:"types"`
+	Instances      int             `json:"instances"`
+	CandidatePairs int64           `json:"candidatePairs"`
+	RefinedPairs   int64           `json:"refinedPairs"`
+	DurationMicros int64           `json:"miningMicros"`
+	Prevalent      []colocJSONItem `json:"prevalent"`
+}
+
+type colocJSONItem struct {
+	Types              []string `json:"types"`
+	ParticipationIndex float64  `json:"participationIndex"`
+	RowInstances       int      `json:"rowInstances"`
+}
+
+func writeColocateJSON(w io.Writer, res *qsrmine.ColocationResult) error {
+	jo := colocJSONOutput{
+		Distance:       res.Distance,
+		MinPI:          res.MinPI,
+		Types:          res.Types,
+		Instances:      res.Instances,
+		CandidatePairs: res.CandidatePairs,
+		RefinedPairs:   res.RefinedPairs,
+		DurationMicros: res.Duration.Microseconds(),
+		Prevalent:      make([]colocJSONItem, 0, len(res.Prevalent)),
+	}
+	for _, p := range res.Prevalent {
+		jo.Prevalent = append(jo.Prevalent, colocJSONItem{
+			Types:              p.Types,
+			ParticipationIndex: p.PI,
+			RowInstances:       p.Rows,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jo)
 }
 
 // runMutated applies the -mutate file to the scene and mines the

@@ -19,6 +19,14 @@
 //	qsrmined -dump-sample scene.json
 //	curl -s -X POST --data-binary @scene.json localhost:8080/v1/datasets/scene
 //	curl -s -X POST -d '{"dataset":"<digest>","config":{"algorithm":"eclat-kc+","minSupport":0.3}}' localhost:8080/v1/mine
+//	curl -s -X POST -d '{"dataset":"<digest>","config":{"distance":3,"minPI":0.3}}' localhost:8080/v1/colocate
+//
+// /v1/colocate mines spatial co-location patterns (prevalent
+// feature-type sets under a neighborhood distance, measured by the
+// participation index) instead of transaction itemsets; POST the same
+// body to /v1/colocate/jobs for the cancellable async variant. Both
+// share the dataset store, result cache, and persistence tier with
+// /v1/mine.
 //
 // With -peers the process becomes a front node: it stores and mines
 // nothing itself, but consistent-hashes each dataset digest onto the

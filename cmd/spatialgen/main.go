@@ -7,6 +7,13 @@
 //	spatialgen -kind dataset1 -rows 1000 -seed 2007 -out d1.csv
 //	spatialgen -kind dataset2 -rows 1000 > d2.csv
 //	spatialgen -kind scene -grid 20x20 -seed 7 -out city.json
+//	spatialgen -colocate -clusters 20 -noise 10 -seed 7 -out coloc.json
+//
+// -colocate generates a clustered multi-feature-type point scene with
+// planted co-location patterns: sites where the planted type sets
+// co-occur within -spread of each other, plus uniform noise. At a
+// mining distance >= 2*spread the planted sets are prevalent — the
+// workload the co-location oracle and property tests sweep.
 package main
 
 import (
@@ -29,11 +36,17 @@ func main() {
 
 func run() error {
 	var (
-		kind    = flag.String("kind", "dataset1", "what to generate: dataset1, dataset2, scene")
-		rows    = flag.Int("rows", datagen.DefaultRows, "transaction count (dataset1/dataset2)")
-		seed    = flag.Int64("seed", datagen.DefaultSeed, "generator seed")
-		grid    = flag.String("grid", "10x10", "district grid for -kind scene (WxH)")
-		outPath = flag.String("out", "", "output file (default: stdout)")
+		kind     = flag.String("kind", "dataset1", "what to generate: dataset1, dataset2, scene")
+		rows     = flag.Int("rows", datagen.DefaultRows, "transaction count (dataset1/dataset2)")
+		seed     = flag.Int64("seed", datagen.DefaultSeed, "generator seed")
+		grid     = flag.String("grid", "10x10", "district grid for -kind scene (WxH)")
+		colocate = flag.Bool("colocate", false, "generate a clustered point scene with planted co-location patterns")
+		types    = flag.String("types", "", "comma-separated feature type names (-colocate; default: the built-in four)")
+		clusters = flag.Int("clusters", 12, "planted cluster sites (-colocate)")
+		noise    = flag.Int("noise", 6, "uniform noise instances per type (-colocate)")
+		extent   = flag.Float64("extent", 100, "world side length (-colocate)")
+		spread   = flag.Float64("spread", 0.5, "max member offset from a cluster site (-colocate)")
+		outPath  = flag.String("out", "", "output file (default: stdout)")
 	)
 	flag.Parse()
 
@@ -47,6 +60,22 @@ func run() error {
 		out = f
 	}
 
+	if *colocate {
+		cfg := datagen.DefaultColocationScene(*seed)
+		cfg.Clusters = *clusters
+		cfg.Noise = *noise
+		cfg.Extent = *extent
+		cfg.ClusterSpread = *spread
+		if *types != "" {
+			cfg.Types = strings.Split(*types, ",")
+			cfg.Planted = nil // plant the full custom type set at every site
+		}
+		scene, err := datagen.GenerateColocationScene(cfg)
+		if err != nil {
+			return err
+		}
+		return scene.WriteJSON(out)
+	}
 	switch *kind {
 	case "dataset1":
 		table, err := datagen.PaperDataset1(*seed, *rows)

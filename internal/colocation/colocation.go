@@ -1,0 +1,551 @@
+// Package colocation mines spatial co-location patterns: sets of
+// feature types whose instances are frequently located near each other.
+// Unlike the reference-feature transaction model of the source paper
+// (one transaction per reference feature), co-location treats every
+// feature type symmetrically: a row instance of a candidate set
+// {f1, ..., fk} is a clique of instances — one per type — in which
+// every pair lies within the neighborhood distance. The prevalence
+// measure is the participation index
+//
+//	PI(c) = min over fi in c of  |distinct fi instances in any row of c| / |fi instances|
+//
+// which is anti-monotone (adding a type can only shrink every
+// participation ratio), so a level-wise Apriori-style walk prunes
+// soundly on it.
+//
+// The engine materializes the neighbor relation once per type pair with
+// an STR-packed R-tree envelope filter refined by exact prepared-
+// geometry distances, then walks candidate type sets level by level,
+// extending each prevalent set's row-instance table by sorted-list
+// intersection of the precomputed adjacency. Candidate expansion shards
+// across Config.Parallelism workers the same way the Eclat walk does,
+// with byte-identical output at any worker count.
+package colocation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/index"
+	"repro/internal/obs"
+)
+
+// Config parameterises a co-location mining run. Its JSON form is the
+// wire configuration of POST /v1/colocate.
+type Config struct {
+	// Distance is the neighborhood threshold: two instances are
+	// neighbors when their exact geometric distance is <= Distance.
+	Distance float64 `json:"distance"`
+	// MinPI is the minimum participation index in (0, 1]; only feature
+	// type sets with PI >= MinPI are reported.
+	MinPI float64 `json:"minPI"`
+	// MaxSize caps the largest pattern size mined (0 = unlimited).
+	MaxSize int `json:"maxSize,omitempty"`
+	// Parallelism shards candidate expansion: 1 = sequential,
+	// 0 = GOMAXPROCS. Output is byte-identical at any worker count.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// Validate checks the configuration bounds.
+func (c Config) Validate() error {
+	if math.IsNaN(c.Distance) || math.IsInf(c.Distance, 0) || c.Distance < 0 {
+		return fmt.Errorf("colocation: distance must be finite and >= 0 (got %v)", c.Distance)
+	}
+	if math.IsNaN(c.MinPI) || c.MinPI <= 0 || c.MinPI > 1 {
+		return fmt.Errorf("colocation: minPI must be in (0, 1] (got %v)", c.MinPI)
+	}
+	if c.MaxSize < 0 {
+		return fmt.Errorf("colocation: maxSize must be >= 0 (got %d)", c.MaxSize)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("colocation: parallelism must be >= 0 (got %d)", c.Parallelism)
+	}
+	return nil
+}
+
+// Pattern is one prevalent co-location: a set of feature types, its
+// participation index, and how many row instances (neighbor cliques)
+// support it.
+type Pattern struct {
+	Types []string `json:"types"`
+	// PI is the participation index: the minimum over the pattern's
+	// types of the fraction of that type's instances participating in
+	// at least one row instance.
+	PI float64 `json:"participationIndex"`
+	// Rows counts the pattern's row instances (cliques).
+	Rows int `json:"rowInstances"`
+}
+
+// Result is a co-location mining run's output.
+type Result struct {
+	// Distance and MinPI echo the mined configuration.
+	Distance float64
+	MinPI    float64
+	// Types are the feature types considered (those with at least one
+	// instance), sorted.
+	Types []string
+	// Instances is the total instance count across Types.
+	Instances int
+	// CandidatePairs counts envelope-stage neighbor candidates from the
+	// R-tree filter; RefinedPairs counts pairs surviving the exact
+	// distance refinement (the materialized neighbor relation).
+	CandidatePairs int64
+	RefinedPairs   int64
+	// Candidates counts candidate type sets (size >= 2) whose row
+	// instances were materialized during the walk.
+	Candidates int
+	// Prevalent holds the patterns with PI >= MinPI, sorted by size
+	// then lexicographically by type names.
+	Prevalent []Pattern
+	// Duration is the wall time of the whole run.
+	Duration time.Duration
+}
+
+// Mine runs co-location mining over the dataset's layers.
+func Mine(ds *dataset.Dataset, cfg Config) (*Result, error) {
+	return MineContext(context.Background(), ds, cfg)
+}
+
+// MineContext is Mine with cancellation and tracing via the context.
+func MineContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ds == nil {
+		return nil, errors.New("colocation: nil dataset")
+	}
+	tr := obs.FromContext(ctx)
+	start := time.Now()
+
+	types := gatherTypes(ds)
+	res := &Result{
+		Distance: cfg.Distance,
+		MinPI:    cfg.MinPI,
+		Types:    typeNames(types),
+	}
+	for _, t := range types {
+		res.Instances += len(t.geoms)
+	}
+
+	sp := tr.Stage("colocate.neighbors")
+	adj, cand, refined := materializeNeighbors(types, cfg.Distance)
+	sp.End()
+	tr.Add("coloc.pairs.candidates", cand)
+	tr.Add("coloc.pairs.refined", refined)
+	res.CandidatePairs = cand
+	res.RefinedPairs = refined
+
+	sp = tr.Stage("colocate.walk")
+	err := prevalenceWalk(ctx, tr, types, adj, cfg, res)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// typeSet is one feature type's instances. Instances keep the layer's
+// feature order; the index into geoms is the instance identity used by
+// the adjacency lists and row tables.
+type typeSet struct {
+	name  string
+	geoms []geom.Geometry
+}
+
+// gatherTypes collects the dataset's layers — reference and relevant
+// alike, since co-location has no reference/relevant asymmetry — into
+// per-type instance sets, merging layers that share a type name,
+// skipping nil geometries, and dropping types with no instances.
+// Types come back sorted by name, the canonical order every candidate
+// set and pattern uses.
+func gatherTypes(ds *dataset.Dataset) []typeSet {
+	layers := make([]*dataset.Layer, 0, 1+len(ds.Relevant))
+	if ds.Reference != nil {
+		layers = append(layers, ds.Reference)
+	}
+	layers = append(layers, ds.Relevant...)
+
+	byName := map[string]int{}
+	var types []typeSet
+	for _, l := range layers {
+		if l == nil {
+			continue
+		}
+		i, ok := byName[l.Type]
+		if !ok {
+			i = len(types)
+			byName[l.Type] = i
+			types = append(types, typeSet{name: l.Type})
+		}
+		for _, f := range l.Features {
+			if f.Geometry == nil {
+				continue
+			}
+			types[i].geoms = append(types[i].geoms, f.Geometry)
+		}
+	}
+	kept := types[:0]
+	for _, t := range types {
+		if len(t.geoms) > 0 {
+			kept = append(kept, t)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].name < kept[j].name })
+	return kept
+}
+
+func typeNames(types []typeSet) []string {
+	names := make([]string, len(types))
+	for i, t := range types {
+		names[i] = t.name
+	}
+	return names
+}
+
+// adjacency holds the materialized neighbor relation: adj[i][j][a] is
+// the sorted list of type-j instance indices within Distance of type-i
+// instance a (i != j; same-type neighborhoods are never needed because
+// a candidate set holds distinct types).
+type adjacency [][][][]int32
+
+// materializeNeighbors builds the neighbor-pair tables for every
+// unordered type pair: an STR R-tree over each type's envelopes serves
+// SearchDistance as the filter stage, and prepared-geometry DistanceTo
+// refines each candidate exactly. Returns the adjacency plus the
+// filter/refine pair counts.
+func materializeNeighbors(types []typeSet, dist float64) (adjacency, int64, int64) {
+	n := len(types)
+	prepared := make([][]*geom.Prepared, n)
+	trees := make([]*index.RTree, n)
+	for i, t := range types {
+		prepared[i] = make([]*geom.Prepared, len(t.geoms))
+		items := make([]index.Item, len(t.geoms))
+		for a, g := range t.geoms {
+			pg := geom.Prepare(g)
+			prepared[i][a] = pg
+			items[a] = index.Item{Env: pg.Envelope(), ID: a}
+		}
+		trees[i] = index.NewRTreeBulk(items)
+	}
+
+	adj := make(adjacency, n)
+	for i := range adj {
+		adj[i] = make([][][]int32, n)
+		for j := range adj[i] {
+			if i != j {
+				adj[i][j] = make([][]int32, len(types[i].geoms))
+			}
+		}
+	}
+	var candidates, refined int64
+	var buf []int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for a := range types[i].geoms {
+				pa := prepared[i][a]
+				buf = trees[j].SearchDistance(pa.Envelope(), dist, buf[:0])
+				candidates += int64(len(buf))
+				for _, b := range buf {
+					if pa.DistanceTo(prepared[j][b]) > dist {
+						continue
+					}
+					refined++
+					adj[i][j][a] = append(adj[i][j][a], int32(b))
+					adj[j][i][b] = append(adj[j][i][b], int32(a))
+				}
+			}
+			// SearchDistance returns tree order; the walk intersects
+			// these lists, which must be sorted ascending.
+			for a := range adj[i][j] {
+				sortInt32(adj[i][j][a])
+			}
+			for b := range adj[j][i] {
+				sortInt32(adj[j][i][b])
+			}
+		}
+	}
+	return adj, candidates, refined
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(x, y int) bool { return s[x] < s[y] })
+}
+
+// candidateSet is one candidate type set during the walk, with the row
+// instances materialized for it (kept only while the next level still
+// needs them for extension).
+type candidateSet struct {
+	types []int     // indices into the sorted type list, ascending
+	rows  [][]int32 // one instance index per position
+	pi    float64
+}
+
+// colocWorkers resolves the Parallelism knob exactly like the Eclat
+// pool: 0 means GOMAXPROCS, never more workers than candidates, at
+// least one.
+func colocWorkers(parallelism, candidates int) int {
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > candidates {
+		w = candidates
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// prevalenceWalk is the level-wise participation-index walk. Level 1 is
+// every type (each trivially prevalent, PI = 1); each next level joins
+// prevalent sets sharing a (k-2)-prefix, prunes candidates with a
+// non-prevalent subset (sound by PI anti-monotonicity), and expands
+// each survivor's row table from its prefix parent by intersecting
+// adjacency lists. Candidates shard across workers via an atomic
+// cursor; results land in per-candidate slots and are merged in
+// candidate order, so output is byte-identical at any worker count.
+func prevalenceWalk(ctx context.Context, tr *obs.Trace, types []typeSet, adj adjacency, cfg Config, res *Result) error {
+	if len(types) < 2 {
+		return ctx.Err()
+	}
+	// Level 1: every type, with single-instance rows.
+	level := make([]candidateSet, len(types))
+	for i, t := range types {
+		rows := make([][]int32, len(t.geoms))
+		for a := range t.geoms {
+			rows[a] = []int32{int32(a)}
+		}
+		level[i] = candidateSet{types: []int{i}, rows: rows, pi: 1}
+	}
+
+	for k := 2; cfg.MaxSize == 0 || k <= cfg.MaxSize; k++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		candidates := aprioriGenTypes(level)
+		if len(candidates) == 0 {
+			break
+		}
+		res.Candidates += len(candidates)
+		tr.Add("coloc.candidates", int64(len(candidates)))
+
+		// The prefix parents the expansion extends from, keyed by the
+		// candidate's first k-1 types.
+		parents := make(map[string]*candidateSet, len(level))
+		for i := range level {
+			parents[typeKey(level[i].types)] = &level[i]
+		}
+
+		expanded := make([]candidateSet, len(candidates))
+		workers := colocWorkers(cfg.Parallelism, len(candidates))
+		if k == 2 {
+			tr.Add("coloc.workers", int64(workers))
+		}
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var done int64
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(candidates) || ctx.Err() != nil {
+						break
+					}
+					expanded[i] = expandCandidate(candidates[i], parents, types, adj)
+					done++
+				}
+				tr.Add(obs.WorkerCounter("coloc", w, "candidates"), done)
+			}(w)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+
+		// Merge in candidate order: deterministic regardless of which
+		// worker expanded which slot.
+		next := expanded[:0]
+		for _, c := range expanded {
+			if len(c.rows) > 0 && c.pi >= cfg.MinPI {
+				next = append(next, c)
+			}
+		}
+		for _, c := range next {
+			res.Prevalent = append(res.Prevalent, Pattern{
+				Types: namesOf(types, c.types),
+				PI:    c.pi,
+				Rows:  len(c.rows),
+			})
+		}
+		tr.Add("coloc.prevalent", int64(len(next)))
+		if len(next) == 0 {
+			break
+		}
+		level = next
+	}
+	return nil
+}
+
+// aprioriGenTypes joins the prevalent sets of one level into the next
+// level's candidates: pairs sharing their first k-1 elements produce a
+// (k+1)-set, kept only when every k-subset is prevalent (PI is
+// anti-monotone, so a missing subset proves the candidate cannot
+// reach any MinPI its subsets missed). The input is lexicographically
+// sorted and the blockwise join preserves that order.
+func aprioriGenTypes(level []candidateSet) [][]int {
+	prevalent := make(map[string]bool, len(level))
+	for _, c := range level {
+		prevalent[typeKey(c.types)] = true
+	}
+	k := len(level[0].types)
+	var out [][]int
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			if !samePrefix(level[i].types, level[j].types, k-1) {
+				break
+			}
+			cand := make([]int, k+1)
+			copy(cand, level[i].types)
+			cand[k] = level[j].types[k-1]
+			if allSubsetsPrevalent(cand, prevalent) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b []int, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// allSubsetsPrevalent checks every (k-1)-subset of cand. The two
+// subsets dropping the last elements are the join parents and known
+// prevalent, but checking them costs little and keeps this obviously
+// exhaustive.
+func allSubsetsPrevalent(cand []int, prevalent map[string]bool) bool {
+	sub := make([]int, 0, len(cand)-1)
+	for drop := range cand {
+		sub = sub[:0]
+		for i, t := range cand {
+			if i != drop {
+				sub = append(sub, t)
+			}
+		}
+		if !prevalent[typeKey(sub)] {
+			return false
+		}
+	}
+	return true
+}
+
+// expandCandidate materializes a candidate's row instances by extending
+// its (k-1)-prefix parent's rows: an instance y of the new last type
+// joins a row when y neighbors every row member, i.e. y lies in the
+// intersection of the members' adjacency lists toward the new type.
+// Because parent rows are cliques, every extended row is a clique.
+func expandCandidate(cand []int, parents map[string]*candidateSet, types []typeSet, adj adjacency) candidateSet {
+	k := len(cand)
+	parent := parents[typeKey(cand[:k-1])]
+	newType := cand[k-1]
+
+	part := make([][]bool, k)
+	for i, t := range cand {
+		part[i] = make([]bool, len(types[t].geoms))
+	}
+	var rows [][]int32
+	var buf []int32
+	for _, row := range parent.rows {
+		ext := adj[cand[0]][newType][row[0]]
+		for m := 1; m < k-1 && len(ext) > 0; m++ {
+			ext = intersectSorted(ext, adj[cand[m]][newType][row[m]], buf[:0])
+			buf = ext // reuse the scratch for the next intersection
+		}
+		if len(ext) == 0 {
+			buf = buf[:0]
+			continue
+		}
+		for _, y := range ext {
+			nr := make([]int32, k)
+			copy(nr, row)
+			nr[k-1] = y
+			rows = append(rows, nr)
+			part[k-1][y] = true
+		}
+		for m, x := range row {
+			part[m][x] = true
+		}
+		buf = buf[:0]
+	}
+	if len(rows) == 0 {
+		return candidateSet{types: cand}
+	}
+	pi := 1.0
+	for i, t := range cand {
+		cnt := 0
+		for _, p := range part[i] {
+			if p {
+				cnt++
+			}
+		}
+		r := float64(cnt) / float64(len(types[t].geoms))
+		if r < pi {
+			pi = r
+		}
+	}
+	return candidateSet{types: cand, rows: rows, pi: pi}
+}
+
+// intersectSorted writes the intersection of two ascending lists into
+// dst and returns it.
+func intersectSorted(a, b []int32, dst []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+func namesOf(types []typeSet, idx []int) []string {
+	names := make([]string, len(idx))
+	for i, t := range idx {
+		names[i] = types[t].name
+	}
+	return names
+}
+
+// typeKey is the canonical map key of a type-index set.
+func typeKey(ts []int) string {
+	b := make([]byte, 0, len(ts)*3)
+	for _, t := range ts {
+		b = append(b, byte(t), byte(t>>8), byte(t>>16))
+	}
+	return string(b)
+}

@@ -1,0 +1,276 @@
+package colocation_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/colocation"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// pointLayer builds a point layer from coordinate pairs.
+func pointLayer(name string, coords ...float64) *dataset.Layer {
+	l := dataset.NewLayer(name)
+	for i := 0; i+1 < len(coords); i += 2 {
+		l.AddGeometry(geom.Pt(coords[i], coords[i+1]))
+	}
+	return l
+}
+
+func mustMine(t *testing.T, ds *dataset.Dataset, cfg colocation.Config) *colocation.Result {
+	t.Helper()
+	res, err := colocation.Mine(ds, cfg)
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	return res
+}
+
+// TestKnownScene pins the engine on a scene small enough to verify by
+// hand: A and B co-locate at two of three sites, C joins at one.
+//
+//	a1(0,0) b1(0,1)        a2(10,0) b2(10,1) c1(10,2)       a3(20,0)
+//	b3(30,30)  c2(40,40)
+func TestKnownScene(t *testing.T) {
+	ds := &dataset.Dataset{
+		Reference: pointLayer("A", 0, 0, 10, 0, 20, 0),
+		Relevant: []*dataset.Layer{
+			pointLayer("B", 0, 1, 10, 1, 30, 30),
+			pointLayer("C", 10, 2, 40, 40),
+		},
+	}
+	res := mustMine(t, ds, colocation.Config{Distance: 2.5, MinPI: 0.3})
+
+	if got, want := res.Types, []string{"A", "B", "C"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Types = %v, want %v", got, want)
+	}
+	if res.Instances != 8 {
+		t.Fatalf("Instances = %d, want 8", res.Instances)
+	}
+	want := []colocation.Pattern{
+		// a1-b1 and a2-b2: 2/3 of A, 2/3 of B.
+		{Types: []string{"A", "B"}, PI: 2.0 / 3.0, Rows: 2},
+		// a2-c1: 1/3 of A, 1/2 of C.
+		{Types: []string{"A", "C"}, PI: 1.0 / 3.0, Rows: 1},
+		// b2-c1: 1/3 of B, 1/2 of C.
+		{Types: []string{"B", "C"}, PI: 1.0 / 3.0, Rows: 1},
+		// a2-b2-c1: 1/3, 1/3, 1/2 -> PI 1/3.
+		{Types: []string{"A", "B", "C"}, PI: 1.0 / 3.0, Rows: 1},
+	}
+	if !reflect.DeepEqual(res.Prevalent, want) {
+		t.Fatalf("Prevalent = %+v, want %+v", res.Prevalent, want)
+	}
+	if res.RefinedPairs != 4 {
+		t.Fatalf("RefinedPairs = %d, want 4 (a1b1, a2b2, a2c1, b2c1)", res.RefinedPairs)
+	}
+	if res.CandidatePairs < res.RefinedPairs {
+		t.Fatalf("CandidatePairs = %d < RefinedPairs = %d", res.CandidatePairs, res.RefinedPairs)
+	}
+}
+
+// TestMinPIPrunes verifies the threshold actually filters: the same
+// scene at a strict MinPI keeps only the strong pair.
+func TestMinPIPrunes(t *testing.T) {
+	ds := &dataset.Dataset{
+		Reference: pointLayer("A", 0, 0, 10, 0, 20, 0),
+		Relevant: []*dataset.Layer{
+			pointLayer("B", 0, 1, 10, 1, 30, 30),
+			pointLayer("C", 10, 2, 40, 40),
+		},
+	}
+	res := mustMine(t, ds, colocation.Config{Distance: 2.5, MinPI: 0.5})
+	want := []colocation.Pattern{{Types: []string{"A", "B"}, PI: 2.0 / 3.0, Rows: 2}}
+	if !reflect.DeepEqual(res.Prevalent, want) {
+		t.Fatalf("Prevalent = %+v, want %+v", res.Prevalent, want)
+	}
+}
+
+// TestZeroDistanceCoincidentPoints: at distance 0 only exactly
+// coincident instances are neighbors.
+func TestZeroDistanceCoincidentPoints(t *testing.T) {
+	ds := &dataset.Dataset{
+		Reference: pointLayer("A", 1, 1, 5, 5),
+		Relevant: []*dataset.Layer{
+			pointLayer("B", 1, 1, 9, 9),
+		},
+	}
+	res := mustMine(t, ds, colocation.Config{Distance: 0, MinPI: 0.5})
+	want := []colocation.Pattern{{Types: []string{"A", "B"}, PI: 0.5, Rows: 1}}
+	if !reflect.DeepEqual(res.Prevalent, want) {
+		t.Fatalf("Prevalent = %+v, want %+v", res.Prevalent, want)
+	}
+}
+
+// TestDegenerateDatasets: empty layers, a single type, and nil
+// geometries must not panic and must report nothing prevalent.
+func TestDegenerateDatasets(t *testing.T) {
+	cfg := colocation.Config{Distance: 1, MinPI: 0.5}
+	cases := []struct {
+		name string
+		ds   *dataset.Dataset
+	}{
+		{"empty layers", &dataset.Dataset{Reference: dataset.NewLayer("A"), Relevant: []*dataset.Layer{dataset.NewLayer("B")}}},
+		{"single type", &dataset.Dataset{Reference: pointLayer("A", 0, 0, 1, 1)}},
+		{"nil relevant entry", &dataset.Dataset{Reference: pointLayer("A", 0, 0), Relevant: []*dataset.Layer{nil}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := mustMine(t, tc.ds, cfg)
+			if len(res.Prevalent) != 0 {
+				t.Fatalf("Prevalent = %+v, want none", res.Prevalent)
+			}
+		})
+	}
+	if _, err := colocation.Mine(nil, cfg); err == nil {
+		t.Fatalf("Mine(nil) should error")
+	}
+}
+
+// TestMergedLayersSameType: two layers with one type name are one
+// instance population.
+func TestMergedLayersSameType(t *testing.T) {
+	ds := &dataset.Dataset{
+		Reference: pointLayer("A", 0, 0),
+		Relevant: []*dataset.Layer{
+			pointLayer("B", 0, 1),
+			pointLayer("B", 50, 50), // far-away second B population
+		},
+	}
+	res := mustMine(t, ds, colocation.Config{Distance: 2, MinPI: 0.5})
+	want := []colocation.Pattern{{Types: []string{"A", "B"}, PI: 0.5, Rows: 1}}
+	if !reflect.DeepEqual(res.Prevalent, want) {
+		t.Fatalf("Prevalent = %+v, want %+v", res.Prevalent, want)
+	}
+}
+
+// TestMaxSizeCapsWalk: MaxSize 2 stops before the triple.
+func TestMaxSizeCapsWalk(t *testing.T) {
+	ds := &dataset.Dataset{
+		Reference: pointLayer("A", 0, 0),
+		Relevant: []*dataset.Layer{
+			pointLayer("B", 0, 1),
+			pointLayer("C", 1, 0),
+		},
+	}
+	res := mustMine(t, ds, colocation.Config{Distance: 2, MinPI: 1, MaxSize: 2})
+	for _, p := range res.Prevalent {
+		if len(p.Types) > 2 {
+			t.Fatalf("pattern %v exceeds MaxSize 2", p.Types)
+		}
+	}
+	if len(res.Prevalent) != 3 {
+		t.Fatalf("Prevalent = %+v, want the 3 pairs", res.Prevalent)
+	}
+}
+
+// TestParallelismByteIdentical: the full result is identical at any
+// worker count, including counters and pattern order.
+func TestParallelismByteIdentical(t *testing.T) {
+	ds := gridScene()
+	base := mustMine(t, ds, colocation.Config{Distance: 1.5, MinPI: 0.2, Parallelism: 1})
+	for _, par := range []int{0, 2, 4, 9} {
+		got := mustMine(t, ds, colocation.Config{Distance: 1.5, MinPI: 0.2, Parallelism: par})
+		got.Duration = base.Duration
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("parallelism %d diverged:\n got %+v\nwant %+v", par, got, base)
+		}
+	}
+}
+
+// gridScene lays four types on overlapping lattices so many pairs and
+// triples clear low thresholds.
+func gridScene() *dataset.Dataset {
+	names := []string{"A", "B", "C", "D"}
+	layers := make([]*dataset.Layer, len(names))
+	for i, n := range names {
+		layers[i] = dataset.NewLayer(n)
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 3; y++ {
+				layers[i].AddGeometry(geom.Pt(float64(x)*3+float64(i)*0.4, float64(y)*3+float64(i)*0.3))
+			}
+		}
+	}
+	return &dataset.Dataset{Reference: layers[0], Relevant: layers[1:]}
+}
+
+// TestCancellation: a pre-cancelled context aborts the walk.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := colocation.MineContext(ctx, gridScene(), colocation.Config{Distance: 1.5, MinPI: 0.2})
+	if err == nil {
+		t.Fatalf("expected context error")
+	}
+}
+
+// TestTraceCounters: the materialization counters flow through obs.
+func TestTraceCounters(t *testing.T) {
+	tr := obs.New(nil)
+	ctx := obs.WithTrace(context.Background(), tr)
+	res, err := colocation.MineContext(ctx, gridScene(), colocation.Config{Distance: 1.5, MinPI: 0.2})
+	if err != nil {
+		t.Fatalf("MineContext: %v", err)
+	}
+	if got := tr.Counter("coloc.pairs.candidates"); got != res.CandidatePairs || got == 0 {
+		t.Fatalf("coloc.pairs.candidates = %d, result says %d", got, res.CandidatePairs)
+	}
+	if got := tr.Counter("coloc.pairs.refined"); got != res.RefinedPairs || got == 0 {
+		t.Fatalf("coloc.pairs.refined = %d, result says %d", got, res.RefinedPairs)
+	}
+	if tr.Counter("coloc.candidates") == 0 || tr.Counter("coloc.workers") == 0 {
+		t.Fatalf("walk counters missing: %v", tr.Counters())
+	}
+}
+
+// TestConfigValidate sweeps the rejection surface.
+func TestConfigValidate(t *testing.T) {
+	bad := []colocation.Config{
+		{Distance: -1, MinPI: 0.5},
+		{Distance: math.NaN(), MinPI: 0.5},
+		{Distance: math.Inf(1), MinPI: 0.5},
+		{Distance: 1, MinPI: 0},
+		{Distance: 1, MinPI: -0.1},
+		{Distance: 1, MinPI: 1.01},
+		{Distance: 1, MinPI: math.NaN()},
+		{Distance: 1, MinPI: 0.5, MaxSize: -1},
+		{Distance: 1, MinPI: 0.5, Parallelism: -2},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", cfg)
+		}
+	}
+	good := colocation.Config{Distance: 0, MinPI: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(%+v): %v", good, err)
+	}
+}
+
+// TestParseConfig: strictness of the wire decoder.
+func TestParseConfig(t *testing.T) {
+	cfg, err := colocation.ParseConfig([]byte(`{"distance":2,"minPI":0.4,"maxSize":3,"parallelism":2}`))
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if cfg.Distance != 2 || cfg.MinPI != 0.4 || cfg.MaxSize != 3 || cfg.Parallelism != 2 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	for _, bad := range []string{
+		``,
+		`{`,
+		`{"distance":1}`,                      // minPI missing -> 0, invalid
+		`{"distance":1,"minPI":0.5,"nope":1}`, // unknown field
+		`{"distance":1,"minPI":0.5} trailing`, // trailing data
+		`{"distance":-2,"minPI":0.5}`,         // invalid bounds
+		`{"distance":"far","minPI":0.5}`,      // wrong type
+		`[{"distance":1,"minPI":0.5}]`,        // wrong shape
+	} {
+		if _, err := colocation.ParseConfig([]byte(bad)); err == nil {
+			t.Errorf("ParseConfig(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package colocation_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/colocation"
+	"repro/internal/datagen"
+)
+
+// TestColocationMatchesBruteForceOnGeneratedScenes is the property test
+// mirroring TestEnginesEquivalentOnGeneratedScenes: across generated
+// planted scenes × distances × minPI × Parallelism ∈ {1, 4}, the
+// R-tree + participation-index engine must report exactly the oracle's
+// prevalent patterns — same sets, same PI floats, same row counts, same
+// order.
+func TestColocationMatchesBruteForceOnGeneratedScenes(t *testing.T) {
+	scenes := []struct {
+		name string
+		cfg  datagen.ColocationSceneConfig
+	}{
+		{"default", datagen.DefaultColocationScene(7)},
+		{"dense", datagen.ColocationSceneConfig{
+			Seed: 11, Types: []string{"p", "q", "r"}, Extent: 20,
+			Clusters: 10, ClusterSpread: 0.8, Noise: 5,
+		}},
+		{"sparse noise-only", datagen.ColocationSceneConfig{
+			Seed: 3, Types: []string{"x", "y", "z", "w"}, Extent: 60,
+			Clusters: 0, ClusterSpread: 0.5, Noise: 12,
+		}},
+		{"tight overlapping plants", datagen.ColocationSceneConfig{
+			Seed: 23, Types: []string{"a", "b", "c", "d"}, Extent: 40,
+			Clusters: 8, ClusterSpread: 0.3,
+			Planted: [][]string{{"a", "b", "c"}, {"b", "c", "d"}, {"a", "d"}},
+			Noise:   4,
+		}},
+	}
+	for _, sc := range scenes {
+		ds, err := datagen.GenerateColocationScene(sc.cfg)
+		if err != nil {
+			t.Fatalf("%s: generate: %v", sc.name, err)
+		}
+		for _, dist := range []float64{0.5, 2, 8} {
+			for _, minPI := range []float64{0.2, 0.5} {
+				cfg := colocation.Config{Distance: dist, MinPI: minPI}
+				want, err := colocation.MineBruteForce(ds, cfg)
+				if err != nil {
+					t.Fatalf("%s: oracle: %v", sc.name, err)
+				}
+				for _, par := range []int{1, 4} {
+					cfg.Parallelism = par
+					t.Run(fmt.Sprintf("%s/dist=%v/minpi=%v/par=%d", sc.name, dist, minPI, par), func(t *testing.T) {
+						got, err := colocation.Mine(ds, cfg)
+						if err != nil {
+							t.Fatalf("Mine: %v", err)
+						}
+						if !reflect.DeepEqual(got.Prevalent, want.Prevalent) {
+							t.Fatalf("engine != oracle:\n got %+v\nwant %+v", got.Prevalent, want.Prevalent)
+						}
+						if got.Instances != want.Instances || !reflect.DeepEqual(got.Types, want.Types) {
+							t.Fatalf("world mismatch: got %d %v, want %d %v",
+								got.Instances, got.Types, want.Instances, want.Types)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratedSceneDeterministic: one seed, one scene.
+func TestGeneratedSceneDeterministic(t *testing.T) {
+	a, err := datagen.GenerateColocationScene(datagen.DefaultColocationScene(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := datagen.GenerateColocationScene(datagen.DefaultColocationScene(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different scenes")
+	}
+}
+
+// TestPlantedPatternsPrevalent: at a distance covering the cluster
+// spread and a PI below the planting rate, every planted set (and by
+// anti-monotonicity each of its subsets) must surface.
+func TestPlantedPatternsPrevalent(t *testing.T) {
+	cfg := datagen.ColocationSceneConfig{
+		Seed: 5, Types: []string{"atm", "busStop", "cafe"}, Extent: 200,
+		Clusters: 10, ClusterSpread: 0.5,
+		Planted: [][]string{{"atm", "busStop", "cafe"}},
+		Noise:   3,
+	}
+	ds, err := datagen.GenerateColocationScene(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 of 13 instances of each type sit in planted cliques.
+	res, err := colocation.Mine(ds, colocation.Config{Distance: 1.0, MinPI: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range res.Prevalent {
+		if reflect.DeepEqual(p.Types, []string{"atm", "busStop", "cafe"}) {
+			found = true
+			if p.PI < 0.6 {
+				t.Fatalf("planted pattern PI = %v", p.PI)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("planted {atm,busStop,cafe} not prevalent; got %+v", res.Prevalent)
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/colocation"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+// ColocationBenchResult is one co-location mining measurement, written
+// to BENCH_colocation.json. The grid sweeps scene size × neighborhood
+// distance × minimum participation index × worker fan-out, so the perf
+// gate tracks the R-tree materialization and the parallel prevalence
+// walk separately from the transaction engines.
+type ColocationBenchResult struct {
+	// Name identifies the workload:
+	// "colocation/clusters=<c>/noise=<n>/dist=<d>/minpi=<p>/par=<w>".
+	Name string `json:"name"`
+	// N is the number of timed iterations the harness settled on.
+	N int `json:"n"`
+	// NsPerOp is wall time per full co-location run.
+	NsPerOp float64 `json:"nsPerOp"`
+	// AllocsPerOp and BytesPerOp come from the allocation profile.
+	AllocsPerOp int64 `json:"allocsPerOp"`
+	BytesPerOp  int64 `json:"bytesPerOp"`
+	// Instances is the scene's total instance count.
+	Instances int `json:"instances"`
+	// Prevalent is the prevalent-pattern count — the correctness anchor
+	// for the timing row.
+	Prevalent int `json:"prevalent"`
+	// RefinedPairs is the materialized neighbor-pair count.
+	RefinedPairs int64 `json:"refinedPairs"`
+}
+
+// ColocationBench measures the co-location engine over planted scenes.
+// Scenes are generated once, outside the timed region.
+func ColocationBench() ([]ColocationBenchResult, error) {
+	type sceneSpec struct {
+		clusters, noise int
+	}
+	var out []ColocationBenchResult
+	for _, sc := range []sceneSpec{{40, 20}, {160, 80}} {
+		cfg := datagen.DefaultColocationScene(datagen.DefaultSeed)
+		cfg.Clusters = sc.clusters
+		cfg.Noise = sc.noise
+		ds, err := datagen.GenerateColocationScene(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, dist := range []float64{1, 4} {
+			for _, minPI := range []float64{0.2, 0.5} {
+				for _, par := range []int{1, 4} {
+					mcfg := colocation.Config{Distance: dist, MinPI: minPI, Parallelism: par}
+					res, err := benchColocationOne(ds, mcfg, sc.clusters, sc.noise)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, res)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// benchColocationOne times one configuration under testing.Benchmark.
+func benchColocationOne(ds *dataset.Dataset, cfg colocation.Config, clusters, noise int) (ColocationBenchResult, error) {
+	// One untimed run supplies the correctness anchors (and surfaces
+	// config errors before the timing loop hides them).
+	ref, err := colocation.Mine(ds, cfg)
+	if err != nil {
+		return ColocationBenchResult{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := colocation.Mine(ds, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return ColocationBenchResult{
+		Name: fmt.Sprintf("colocation/clusters=%d/noise=%d/dist=%v/minpi=%v/par=%d",
+			clusters, noise, cfg.Distance, cfg.MinPI, cfg.Parallelism),
+		N:            r.N,
+		NsPerOp:      float64(r.NsPerOp()),
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		Instances:    ref.Instances,
+		Prevalent:    len(ref.Prevalent),
+		RefinedPairs: ref.RefinedPairs,
+	}, nil
+}
+
+// WriteColocationBenchJSON runs ColocationBench and writes the results
+// as indented JSON — the BENCH_colocation.json format the perf gate
+// diffs.
+func WriteColocationBenchJSON(w io.Writer) error {
+	results, err := ColocationBench()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

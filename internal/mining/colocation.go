@@ -1,0 +1,24 @@
+package mining
+
+import (
+	"context"
+
+	"repro/internal/colocation"
+	"repro/internal/dataset"
+)
+
+// Colocation mines spatial co-location patterns — prevalent feature-
+// type sets under a neighborhood distance, measured by the
+// anti-monotone participation index — over a geometric dataset's
+// layers. It is the mining-package face of internal/colocation, the
+// sibling workload to the reference-feature transaction engines: no
+// extraction, no transactions, every layer a peer feature type.
+func Colocation(ds *dataset.Dataset, cfg colocation.Config) (*colocation.Result, error) {
+	return colocation.Mine(ds, cfg)
+}
+
+// ColocationContext is Colocation with cancellation and tracing via the
+// context.
+func ColocationContext(ctx context.Context, ds *dataset.Dataset, cfg colocation.Config) (*colocation.Result, error) {
+	return colocation.MineContext(ctx, ds, cfg)
+}

@@ -37,7 +37,9 @@ func (s *Server) routeTable() []route {
 		{"PATCH", "/v1/datasets/{digest}", "/datasets/{digest}", s.handlePatchDataset},
 		{"DELETE", "/v1/datasets/{digest}", "/datasets/{digest}", s.handleDeleteDataset},
 		{"POST", "/v1/mine", "/mine", s.handleMine},
+		{"POST", "/v1/colocate", "/colocate", s.handleColocate},
 		{"POST", "/v1/jobs", "/jobs", s.handleSubmitJob},
+		{"POST", "/v1/colocate/jobs", "/colocate/jobs", s.handleSubmitColocateJob},
 		{"GET", "/v1/jobs/{id}", "/jobs/{id}", s.handleGetJob},
 		{"DELETE", "/v1/jobs/{id}", "/jobs/{id}", s.handleCancelJob},
 	}
@@ -273,6 +275,10 @@ func (s *Server) decodeMineRequest(w http.ResponseWriter, r *http.Request) (Mine
 	}
 	if req.Dataset == "" {
 		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "request needs a %q digest from a dataset upload", "dataset")
+		return MineRequest{}, false
+	}
+	if req.Colocate != nil {
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "co-location requests go to POST /v1/colocate")
 		return MineRequest{}, false
 	}
 	if req.Config.MinSupport <= 0 || req.Config.MinSupport > 1 {

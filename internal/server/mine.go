@@ -41,7 +41,13 @@ func (s *Server) mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 	if !ok {
 		return nil, errUnknownDataset(req.Dataset)
 	}
-	key, err := CacheKey(ds.Digest, req.Config)
+	var key string
+	var err error
+	if req.Colocate != nil {
+		key, err = ColocateCacheKey(ds.Digest, *req.Colocate)
+	} else {
+		key, err = CacheKey(ds.Digest, req.Config)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -51,6 +57,9 @@ func (s *Server) mine(ctx context.Context, req MineRequest) (*MineResponse, erro
 	}
 	s.trace.Add("server.cache.misses", 1)
 	return s.flights.do(ctx, s.baseCtx, key, func(runCtx context.Context) (*MineResponse, error) {
+		if req.Colocate != nil {
+			return s.computeColocation(runCtx, ds, key, *req.Colocate)
+		}
 		return s.compute(runCtx, ds, key, req)
 	})
 }

@@ -157,7 +157,9 @@ func (p *Proxy) routes() {
 		{"PATCH", "/v1/datasets/{digest}", "/datasets/{digest}", p.handlePatchDataset},
 		{"DELETE", "/v1/datasets/{digest}", "/datasets/{digest}", p.handleDeleteDataset},
 		{"POST", "/v1/mine", "/mine", p.mineHandler("/v1/mine")},
+		{"POST", "/v1/colocate", "/colocate", p.mineHandler("/v1/colocate")},
 		{"POST", "/v1/jobs", "/jobs", p.mineHandler("/v1/jobs")},
+		{"POST", "/v1/colocate/jobs", "/colocate/jobs", p.mineHandler("/v1/colocate/jobs")},
 		{"GET", "/v1/jobs/{id}", "/jobs/{id}", p.handleJobByID},
 		{"DELETE", "/v1/jobs/{id}", "/jobs/{id}", p.handleJobByID},
 	}

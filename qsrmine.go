@@ -37,6 +37,7 @@
 package qsrmine
 
 import (
+	"repro/internal/colocation"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/de9im"
@@ -358,6 +359,33 @@ var (
 	MineTopK = mining.MineTopK
 	// ProfileTable summarises a table's predicate statistics.
 	ProfileTable = transact.Profile
+)
+
+// Spatial co-location mining: prevalent feature-type sets under a
+// neighborhood distance, measured by the anti-monotone participation
+// index — the sibling workload to the reference-feature transaction
+// pipeline (every layer a peer type, no extraction, no transactions).
+type (
+	// ColocationConfig parameterises a co-location run (distance, minPI,
+	// optional maxSize and parallelism); its JSON form is the wire
+	// configuration of POST /v1/colocate.
+	ColocationConfig = colocation.Config
+	// ColocationResult is a co-location run's output.
+	ColocationResult = colocation.Result
+	// ColocationPattern is one prevalent co-location.
+	ColocationPattern = colocation.Pattern
+)
+
+var (
+	// Colocate mines co-location patterns over a dataset's layers.
+	Colocate = mining.Colocation
+	// ColocateContext is Colocate with cancellation and tracing.
+	ColocateContext = mining.ColocationContext
+	// ColocateBruteForce is the exhaustive oracle the engine is
+	// cross-checked against.
+	ColocateBruteForce = colocation.MineBruteForce
+	// ParseColocationConfig strictly decodes a JSON co-location config.
+	ParseColocationConfig = colocation.ParseConfig
 )
 
 // Gain analysis (the paper's Formula 1).
