@@ -34,6 +34,42 @@ func TestRunColocateSample(t *testing.T) {
 	if basePat, parPat := afterTimingLine(out), afterTimingLine(par.String()); basePat != parPat {
 		t.Errorf("patterns differ across parallelism:\n--- par=default\n%s\n--- par=4\n%s", basePat, parPat)
 	}
+
+	// Same flags on the clique engine: identical patterns (the default
+	// above ran joinless).
+	var clique bytes.Buffer
+	if err := run([]string{"-sample", "-colocate", "-dist", "3", "-minpi", "0.2", "-coloc-engine", "clique"}, &clique, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if basePat, cliquePat := afterTimingLine(out), afterTimingLine(clique.String()); basePat != cliquePat {
+		t.Errorf("patterns differ across engines:\n--- joinless\n%s\n--- clique\n%s", basePat, cliquePat)
+	}
+}
+
+// TestRunColocateTopK: -coloc-topk truncates the report to k patterns.
+func TestRunColocateTopK(t *testing.T) {
+	var full, topk, stderr bytes.Buffer
+	if err := run([]string{"-sample", "-colocate", "-dist", "3", "-minpi", "0.2", "-format", "json"}, &full, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sample", "-colocate", "-dist", "3", "-minpi", "0.2", "-format", "json", "-coloc-topk", "1"}, &topk, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var a, b struct {
+		Prevalent []json.RawMessage `json:"prevalent"`
+	}
+	if err := json.Unmarshal(full.Bytes(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(topk.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Prevalent) < 2 {
+		t.Fatalf("sample scene too sparse to test truncation: %d prevalent", len(a.Prevalent))
+	}
+	if len(b.Prevalent) != 1 {
+		t.Fatalf("-coloc-topk 1 kept %d patterns", len(b.Prevalent))
+	}
 }
 
 // afterTimingLine drops everything up to and including the wall-time
@@ -89,6 +125,8 @@ func TestRunColocateFlagErrors(t *testing.T) {
 		{[]string{"-sample", "-colocate", "-dist", "-1"}, "distance"},
 		{[]string{"-sample", "-colocate", "-minpi", "0"}, "minPI"},
 		{[]string{"-sample", "-colocate", "-format", "sideways"}, "sideways"},
+		{[]string{"-sample", "-colocate", "-coloc-engine", "starjoin"}, "engine"},
+		{[]string{"-sample", "-colocate", "-coloc-topk", "-2"}, "topK"},
 	}
 	for _, tc := range cases {
 		var stdout, stderr bytes.Buffer

@@ -64,6 +64,9 @@ func MineBruteForce(ds *dataset.Dataset, cfg Config) (*Result, error) {
 		}
 		rec(0, 0)
 	}
+	if cfg.TopK > 0 {
+		res.Prevalent = selectTopK(res.Prevalent, cfg.TopK)
+	}
 	res.Duration = time.Since(start)
 	return res, nil
 }

@@ -13,13 +13,19 @@
 // participation ratio), so a level-wise Apriori-style walk prunes
 // soundly on it.
 //
-// The engine materializes the neighbor relation once per type pair with
-// an STR-packed R-tree envelope filter refined by exact prepared-
-// geometry distances, then walks candidate type sets level by level,
-// extending each prevalent set's row-instance table by sorted-list
-// intersection of the precomputed adjacency. Candidate expansion shards
-// across Config.Parallelism workers the same way the Eclat walk does,
-// with byte-identical output at any worker count.
+// The engine materializes the neighbor relation once per ordered type
+// pair into a flat CSR layout (one offsets array plus one ids array),
+// sharding the STR R-tree filter → prepared-geometry refine loop across
+// a Config.Parallelism worker pool with a deterministic merge, then
+// walks candidate type sets level by level, extending each prevalent
+// set's row-instance table by sorted-list intersection of the CSR rows.
+// Two engines share that walk: the clique engine materializes every
+// candidate's row table, while the joinless engine (the default) first
+// screens each candidate with the star participation index — an
+// anti-monotone upper bound on the clique PI computed from per-instance
+// star neighborhoods — and materializes rows only for candidates whose
+// upper bound clears MinPI. Both engines produce identical output at
+// any worker count.
 package colocation
 
 import (
@@ -28,6 +34,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,6 +44,24 @@ import (
 	"repro/internal/geom"
 	"repro/internal/index"
 	"repro/internal/obs"
+)
+
+// Engine selects the candidate-evaluation strategy. Both engines return
+// byte-identical results; they differ only in how much work candidate
+// evaluation does before a candidate is ruled out.
+type Engine string
+
+// Engines.
+const (
+	// EngineJoinless (the default) computes per-instance star
+	// neighborhoods from the CSR graph and prunes each candidate whose
+	// star participation index — an anti-monotone upper bound on the
+	// clique PI — falls below MinPI, materializing row tables only for
+	// the survivors.
+	EngineJoinless Engine = "joinless"
+	// EngineClique materializes the full clique row-instance table for
+	// every generated candidate, as the original level-wise engine did.
+	EngineClique Engine = "clique"
 )
 
 // Config parameterises a co-location mining run. Its JSON form is the
@@ -50,9 +75,21 @@ type Config struct {
 	MinPI float64 `json:"minPI"`
 	// MaxSize caps the largest pattern size mined (0 = unlimited).
 	MaxSize int `json:"maxSize,omitempty"`
-	// Parallelism shards candidate expansion: 1 = sequential,
-	// 0 = GOMAXPROCS. Output is byte-identical at any worker count.
+	// Parallelism shards the neighbor-graph materialization and the
+	// candidate expansion: 1 = sequential, 0 = GOMAXPROCS. Output is
+	// byte-identical at any worker count.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Engine picks the candidate-evaluation strategy: "joinless" (the
+	// default when empty) screens candidates with the star
+	// participation upper bound before materializing rows; "clique"
+	// materializes every candidate. Results are identical either way,
+	// so the server's result cache deliberately ignores this knob.
+	Engine Engine `json:"engine,omitempty"`
+	// TopK, when positive, keeps only the k highest-PI prevalent
+	// patterns (ties broken by smaller size, then lexicographic type
+	// names; equal patterns cannot tie). 0 reports every prevalent
+	// pattern.
+	TopK int `json:"topK,omitempty"`
 }
 
 // Validate checks the configuration bounds.
@@ -69,7 +106,23 @@ func (c Config) Validate() error {
 	if c.Parallelism < 0 {
 		return fmt.Errorf("colocation: parallelism must be >= 0 (got %d)", c.Parallelism)
 	}
+	switch c.Engine {
+	case "", EngineJoinless, EngineClique:
+	default:
+		return fmt.Errorf("colocation: unknown engine %q (want %q or %q)", c.Engine, EngineClique, EngineJoinless)
+	}
+	if c.TopK < 0 {
+		return fmt.Errorf("colocation: topK must be >= 0 (got %d)", c.TopK)
+	}
 	return nil
+}
+
+// engine resolves the Engine knob's default.
+func (c Config) engine() Engine {
+	if c.Engine == "" {
+		return EngineJoinless
+	}
+	return c.Engine
 }
 
 // Pattern is one prevalent co-location: a set of feature types, its
@@ -100,11 +153,19 @@ type Result struct {
 	// distance refinement (the materialized neighbor relation).
 	CandidatePairs int64
 	RefinedPairs   int64
-	// Candidates counts candidate type sets (size >= 2) whose row
-	// instances were materialized during the walk.
+	// Candidates counts candidate type sets (size >= 2) generated
+	// during the walk. Identical for both engines: the joinless engine
+	// generates the same candidates and only skips materializing rows
+	// for those its upper bound rules out.
 	Candidates int
+	// StarPruned counts candidates the joinless engine discarded on the
+	// star-participation upper bound without materializing any rows
+	// (always 0 for the clique engine; diagnostic, not part of the wire
+	// result).
+	StarPruned int
 	// Prevalent holds the patterns with PI >= MinPI, sorted by size
-	// then lexicographically by type names.
+	// then lexicographically by type names. With TopK set, only the k
+	// highest-PI patterns remain (still in size-then-name order).
 	Prevalent []Pattern
 	// Duration is the wall time of the whole run.
 	Duration time.Duration
@@ -137,18 +198,22 @@ func MineContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result,
 	}
 
 	sp := tr.Stage("colocate.neighbors")
-	adj, cand, refined := materializeNeighbors(types, cfg.Distance)
+	graph, cand, refined, workers := materializeNeighbors(types, cfg.Distance, cfg.Parallelism)
 	sp.End()
 	tr.Add("coloc.pairs.candidates", cand)
 	tr.Add("coloc.pairs.refined", refined)
+	tr.Add("coloc.neighbors.workers", int64(workers))
 	res.CandidatePairs = cand
 	res.RefinedPairs = refined
 
 	sp = tr.Stage("colocate.walk")
-	err := prevalenceWalk(ctx, tr, types, adj, cfg, res)
+	err := prevalenceWalk(ctx, tr, types, graph, cfg, res)
 	sp.End()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.TopK > 0 {
+		res.Prevalent = selectTopK(res.Prevalent, cfg.TopK)
 	}
 	res.Duration = time.Since(start)
 	return res, nil
@@ -156,7 +221,7 @@ func MineContext(ctx context.Context, ds *dataset.Dataset, cfg Config) (*Result,
 
 // typeSet is one feature type's instances. Instances keep the layer's
 // feature order; the index into geoms is the instance identity used by
-// the adjacency lists and row tables.
+// the CSR rows and row tables.
 type typeSet struct {
 	name  string
 	geoms []geom.Geometry
@@ -212,94 +277,231 @@ func typeNames(types []typeSet) []string {
 	return names
 }
 
-// adjacency holds the materialized neighbor relation: adj[i][j][a] is
-// the sorted list of type-j instance indices within Distance of type-i
-// instance a (i != j; same-type neighborhoods are never needed because
-// a candidate set holds distinct types).
-type adjacency [][][][]int32
-
-// materializeNeighbors builds the neighbor-pair tables for every
-// unordered type pair: an STR R-tree over each type's envelopes serves
-// SearchDistance as the filter stage, and prepared-geometry DistanceTo
-// refines each candidate exactly. Returns the adjacency plus the
-// filter/refine pair counts.
-func materializeNeighbors(types []typeSet, dist float64) (adjacency, int64, int64) {
-	n := len(types)
-	prepared := make([][]*geom.Prepared, n)
-	trees := make([]*index.RTree, n)
-	for i, t := range types {
-		prepared[i] = make([]*geom.Prepared, len(t.geoms))
-		items := make([]index.Item, len(t.geoms))
-		for a, g := range t.geoms {
-			pg := geom.Prepare(g)
-			prepared[i][a] = pg
-			items[a] = index.Item{Env: pg.Envelope(), ID: a}
-		}
-		trees[i] = index.NewRTreeBulk(items)
-	}
-
-	adj := make(adjacency, n)
-	for i := range adj {
-		adj[i] = make([][][]int32, n)
-		for j := range adj[i] {
-			if i != j {
-				adj[i][j] = make([][]int32, len(types[i].geoms))
-			}
-		}
-	}
-	var candidates, refined int64
-	var buf []int
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			for a := range types[i].geoms {
-				pa := prepared[i][a]
-				buf = trees[j].SearchDistance(pa.Envelope(), dist, buf[:0])
-				candidates += int64(len(buf))
-				for _, b := range buf {
-					if pa.DistanceTo(prepared[j][b]) > dist {
-						continue
-					}
-					refined++
-					adj[i][j][a] = append(adj[i][j][a], int32(b))
-					adj[j][i][b] = append(adj[j][i][b], int32(a))
-				}
-			}
-			// SearchDistance returns tree order; the walk intersects
-			// these lists, which must be sorted ascending.
-			for a := range adj[i][j] {
-				sortInt32(adj[i][j][a])
-			}
-			for b := range adj[j][i] {
-				sortInt32(adj[j][i][b])
-			}
-		}
-	}
-	return adj, candidates, refined
+// csrPair holds one ordered type pair's neighbor lists in CSR form: the
+// neighbors of type-i instance a among type-j instances are
+// ids[offsets[a] : offsets[a+1]], sorted ascending. Two flat arrays per
+// pair replace the per-instance slice headers (and their per-element
+// append growth) of a nested layout.
+type csrPair struct {
+	offsets []int32
+	ids     []int32
 }
 
-func sortInt32(s []int32) {
-	sort.Slice(s, func(x, y int) bool { return s[x] < s[y] })
+// row returns instance a's sorted neighbor list.
+func (p *csrPair) row(a int32) []int32 { return p.ids[p.offsets[a]:p.offsets[a+1]] }
+
+// degree returns instance a's neighbor count — the size of its star
+// neighborhood toward the pair's second type.
+func (p *csrPair) degree(a int32) int32 { return p.offsets[a+1] - p.offsets[a] }
+
+// neighborGraph is the materialized neighbor relation: one csrPair per
+// ordered type pair (i != j; same-type neighborhoods are never needed
+// because a candidate set holds distinct types).
+type neighborGraph struct {
+	n     int
+	pairs []csrPair
+}
+
+// at returns the CSR block of the ordered pair (i, j).
+func (g *neighborGraph) at(i, j int) *csrPair { return &g.pairs[i*g.n+j] }
+
+// neighborChunk is the instance-range granularity of one parallel
+// materialization work unit: coarse enough to amortize scheduling,
+// fine enough to balance skewed type sizes.
+const neighborChunk = 64
+
+// neighborUnit is one work unit of the parallel filter→refine loop: a
+// contiguous instance range of the first type of one unordered pair.
+type neighborUnit struct {
+	pair     int // index into the unordered pair list
+	aLo, aHi int
+}
+
+// neighborUnitResult is a unit's output: per-instance neighbor counts
+// and the concatenated (per-instance sorted) neighbor ids, plus the
+// filter/refine tallies. Units write only their own slot, so the merge
+// is deterministic regardless of which worker ran which unit.
+type neighborUnitResult struct {
+	counts              []int32
+	ids                 []int32
+	candidates, refined int64
+}
+
+// materializeNeighbors builds the CSR neighbor graph for every ordered
+// type pair: an STR R-tree over each type's envelopes serves
+// SearchDistance as the filter stage, and prepared-geometry DistanceTo
+// refines each candidate exactly. Geometry preparation, tree builds,
+// and the filter→refine loop all shard across a parallelism-sized
+// worker pool; the merge walks work units in their deterministic order,
+// so the graph is identical at any worker count. Returns the graph, the
+// filter/refine pair counts, and the worker count used.
+func materializeNeighbors(types []typeSet, dist float64, parallelism int) (*neighborGraph, int64, int64, int) {
+	n := len(types)
+	graph := &neighborGraph{n: n, pairs: make([]csrPair, n*n)}
+	if n < 2 {
+		return graph, 0, 0, 0
+	}
+
+	// Phase 1: prepared geometries + one R-tree per type, type-sharded.
+	prepared := make([][]*geom.Prepared, n)
+	trees := make([]*index.RTree, n)
+	prepWorkers := colocWorkers(parallelism, n)
+	var prepCursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < prepWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(prepCursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				t := types[i]
+				pg := make([]*geom.Prepared, len(t.geoms))
+				items := make([]index.Item, len(t.geoms))
+				for a, g := range t.geoms {
+					p := geom.Prepare(g)
+					pg[a] = p
+					items[a] = index.Item{Env: p.Envelope(), ID: a}
+				}
+				prepared[i] = pg
+				trees[i] = index.NewRTreeBulk(items)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Phase 2: the filter→refine loop over unordered pairs, chunked by
+	// first-type instance ranges into units claimed off an atomic
+	// cursor. Each unit's output lands in its own slot.
+	type orderedPair struct{ i, j int }
+	var pairList []orderedPair
+	var units []neighborUnit
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := len(pairList)
+			pairList = append(pairList, orderedPair{i, j})
+			for lo := 0; lo < len(types[i].geoms); lo += neighborChunk {
+				hi := min(lo+neighborChunk, len(types[i].geoms))
+				units = append(units, neighborUnit{pair: p, aLo: lo, aHi: hi})
+			}
+		}
+	}
+	results := make([]neighborUnitResult, len(units))
+	workers := colocWorkers(parallelism, len(units))
+	var cursor atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []int
+			for {
+				u := int(cursor.Add(1)) - 1
+				if u >= len(units) {
+					return
+				}
+				unit := units[u]
+				i, j := pairList[unit.pair].i, pairList[unit.pair].j
+				out := &results[u]
+				out.counts = make([]int32, unit.aHi-unit.aLo)
+				for a := unit.aLo; a < unit.aHi; a++ {
+					pa := prepared[i][a]
+					buf = trees[j].SearchDistance(pa.Envelope(), dist, buf[:0])
+					out.candidates += int64(len(buf))
+					start := len(out.ids)
+					for _, b := range buf {
+						if pa.DistanceTo(prepared[j][b]) > dist {
+							continue
+						}
+						out.ids = append(out.ids, int32(b))
+					}
+					// SearchDistance returns tree order; the walk
+					// intersects these lists, which must be sorted
+					// ascending.
+					slices.Sort(out.ids[start:])
+					out.counts[a-unit.aLo] = int32(len(out.ids) - start)
+				}
+				out.refined += int64(len(out.ids))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Phase 3: deterministic merge. Units are ordered by (pair,
+	// ascending instance range), so concatenating per pair yields the
+	// forward CSR directly; the reverse direction is a counting
+	// transpose (rows stay sorted because the fill scans instances in
+	// ascending order).
+	var candidates, refined int64
+	for _, r := range results {
+		candidates += r.candidates
+		refined += r.refined
+	}
+	u := 0
+	for p, op := range pairList {
+		i, j := op.i, op.j
+		ni, nj := len(types[i].geoms), len(types[j].geoms)
+		offsets := make([]int32, ni+1)
+		total := 0
+		for v := u; v < len(units) && units[v].pair == p; v++ {
+			for k, c := range results[v].counts {
+				offsets[units[v].aLo+k+1] = c
+			}
+			total += len(results[v].ids)
+		}
+		for a := 0; a < ni; a++ {
+			offsets[a+1] += offsets[a]
+		}
+		ids := make([]int32, 0, total)
+		for ; u < len(units) && units[u].pair == p; u++ {
+			ids = append(ids, results[u].ids...)
+			results[u] = neighborUnitResult{} // free the unit's scratch
+		}
+		fwd := csrPair{offsets: offsets, ids: ids}
+		*graph.at(i, j) = fwd
+
+		roffsets := make([]int32, nj+1)
+		for _, b := range ids {
+			roffsets[b+1]++
+		}
+		for b := 0; b < nj; b++ {
+			roffsets[b+1] += roffsets[b]
+		}
+		rids := make([]int32, len(ids))
+		fill := make([]int32, nj)
+		for a := 0; a < ni; a++ {
+			for _, b := range fwd.row(int32(a)) {
+				rids[roffsets[b]+fill[b]] = int32(a)
+				fill[b]++
+			}
+		}
+		*graph.at(j, i) = csrPair{offsets: roffsets, ids: rids}
+	}
+	return graph, candidates, refined, workers
 }
 
 // candidateSet is one candidate type set during the walk, with the row
-// instances materialized for it (kept only while the next level still
-// needs them for extension).
+// instances materialized for it. Rows are stored flat (row-major,
+// stride len(types)) so a table of any size costs one allocation; rows
+// are kept only while the next level still needs them for extension.
 type candidateSet struct {
-	types []int     // indices into the sorted type list, ascending
-	rows  [][]int32 // one instance index per position
+	types []int   // indices into the sorted type list, ascending
+	rows  []int32 // flat row instances, stride len(types)
+	nrows int
 	pi    float64
 }
 
 // colocWorkers resolves the Parallelism knob exactly like the Eclat
-// pool: 0 means GOMAXPROCS, never more workers than candidates, at
+// pool: 0 means GOMAXPROCS, never more workers than work items, at
 // least one.
-func colocWorkers(parallelism, candidates int) int {
+func colocWorkers(parallelism, items int) int {
 	w := parallelism
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > candidates {
-		w = candidates
+	if w > items {
+		w = items
 	}
 	if w < 1 {
 		w = 1
@@ -307,27 +509,58 @@ func colocWorkers(parallelism, candidates int) int {
 	return w
 }
 
+// expander is one walk worker's pooled scratch: the intersection buffer
+// and the per-position participation flags are reused across every
+// candidate the worker expands, so steady-state expansion allocates
+// only each candidate's flat row table.
+type expander struct {
+	buf  []int32
+	part [][]bool
+}
+
+// parts returns participation flag slices sized for cand, reusing (and
+// clearing) the pooled backing arrays.
+func (e *expander) parts(cand []int, types []typeSet) [][]bool {
+	for len(e.part) < len(cand) {
+		e.part = append(e.part, nil)
+	}
+	for i, t := range cand {
+		need := len(types[t].geoms)
+		if cap(e.part[i]) < need {
+			e.part[i] = make([]bool, need)
+		} else {
+			e.part[i] = e.part[i][:need]
+			clear(e.part[i])
+		}
+	}
+	return e.part[:len(cand)]
+}
+
 // prevalenceWalk is the level-wise participation-index walk. Level 1 is
 // every type (each trivially prevalent, PI = 1); each next level joins
 // prevalent sets sharing a (k-2)-prefix, prunes candidates with a
-// non-prevalent subset (sound by PI anti-monotonicity), and expands
-// each survivor's row table from its prefix parent by intersecting
-// adjacency lists. Candidates shard across workers via an atomic
-// cursor; results land in per-candidate slots and are merged in
-// candidate order, so output is byte-identical at any worker count.
-func prevalenceWalk(ctx context.Context, tr *obs.Trace, types []typeSet, adj adjacency, cfg Config, res *Result) error {
+// non-prevalent subset (sound by PI anti-monotonicity), and evaluates
+// each survivor — the joinless engine first via the star participation
+// upper bound, materializing rows only when the bound clears MinPI; the
+// clique engine by materializing every candidate. Candidates shard
+// across workers via an atomic cursor; results land in per-candidate
+// slots and are merged in candidate order, so output is byte-identical
+// at any worker count and for either engine.
+func prevalenceWalk(ctx context.Context, tr *obs.Trace, types []typeSet, g *neighborGraph, cfg Config, res *Result) error {
 	if len(types) < 2 {
 		return ctx.Err()
 	}
+	joinless := cfg.engine() == EngineJoinless
 	// Level 1: every type, with single-instance rows.
 	level := make([]candidateSet, len(types))
 	for i, t := range types {
-		rows := make([][]int32, len(t.geoms))
-		for a := range t.geoms {
-			rows[a] = []int32{int32(a)}
+		rows := make([]int32, len(t.geoms))
+		for a := range rows {
+			rows[a] = int32(a)
 		}
-		level[i] = candidateSet{types: []int{i}, rows: rows, pi: 1}
+		level[i] = candidateSet{types: []int{i}, rows: rows, nrows: len(rows), pi: 1}
 	}
+	rowsPeak := 0
 
 	for k := 2; cfg.MaxSize == 0 || k <= cfg.MaxSize; k++ {
 		if err := ctx.Err(); err != nil {
@@ -352,19 +585,29 @@ func prevalenceWalk(ctx context.Context, tr *obs.Trace, types []typeSet, adj adj
 		if k == 2 {
 			tr.Add("coloc.workers", int64(workers))
 		}
+		pruned := make([]int64, workers)
 		var cursor atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				var e expander
 				var done int64
 				for {
 					i := int(cursor.Add(1)) - 1
 					if i >= len(candidates) || ctx.Err() != nil {
 						break
 					}
-					expanded[i] = expandCandidate(candidates[i], parents, types, adj)
+					cand := candidates[i]
+					if joinless && starPI(cand, types, g, cfg.MinPI) < cfg.MinPI {
+						// The star upper bound already rules the
+						// candidate out: skip the instance join.
+						expanded[i] = candidateSet{types: cand}
+						pruned[w]++
+					} else {
+						expanded[i] = expandCandidate(&e, cand, parents, types, g)
+					}
 					done++
 				}
 				tr.Add(obs.WorkerCounter("coloc", w, "candidates"), done)
@@ -374,12 +617,30 @@ func prevalenceWalk(ctx context.Context, tr *obs.Trace, types []typeSet, adj adj
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		for _, p := range pruned {
+			res.StarPruned += int(p)
+		}
+
+		// The expansion peak holds the parent tables plus every
+		// candidate's table at once; record it, then drop the parents —
+		// the next level extends only the new tables.
+		liveRows := 0
+		for i := range level {
+			liveRows += len(level[i].rows)
+		}
+		for i := range expanded {
+			liveRows += len(expanded[i].rows)
+		}
+		rowsPeak = max(rowsPeak, liveRows)
+		for i := range level {
+			level[i].rows = nil
+		}
 
 		// Merge in candidate order: deterministic regardless of which
 		// worker expanded which slot.
 		next := expanded[:0]
 		for _, c := range expanded {
-			if len(c.rows) > 0 && c.pi >= cfg.MinPI {
+			if c.nrows > 0 && c.pi >= cfg.MinPI {
 				next = append(next, c)
 			}
 		}
@@ -387,7 +648,7 @@ func prevalenceWalk(ctx context.Context, tr *obs.Trace, types []typeSet, adj adj
 			res.Prevalent = append(res.Prevalent, Pattern{
 				Types: namesOf(types, c.types),
 				PI:    c.pi,
-				Rows:  len(c.rows),
+				Rows:  c.nrows,
 			})
 		}
 		tr.Add("coloc.prevalent", int64(len(next)))
@@ -396,7 +657,53 @@ func prevalenceWalk(ctx context.Context, tr *obs.Trace, types []typeSet, adj adj
 		}
 		level = next
 	}
+	tr.Add("coloc.star.pruned", int64(res.StarPruned))
+	tr.Add("coloc.rows.peak", int64(rowsPeak))
 	return nil
+}
+
+// starPI computes the star participation index of a candidate: for each
+// member type, the fraction of its instances whose star neighborhood
+// (its CSR row) is non-empty toward every other member type. Any
+// instance participating in a clique row neighbors every other member,
+// so starPI(c) >= PI(c) for every candidate — a sound coarse prune —
+// and adding a type only shrinks each per-type star set, so the bound
+// is anti-monotone like PI itself. Costs O(Σ|type| · k) integer
+// subtractions against the CSR offsets; no instance join. Returns early
+// once the bound falls below floor.
+func starPI(cand []int, types []typeSet, g *neighborGraph, floor float64) float64 {
+	pi := 1.0
+	for i, ti := range cand {
+		total := len(types[ti].geoms)
+		cnt := 0
+		for a := 0; a < total; a++ {
+			// Even if every remaining instance qualified, the ratio
+			// cannot reach floor anymore: abandon this type early.
+			if float64(cnt+total-a)/float64(total) < floor {
+				break
+			}
+			ok := true
+			for j, tj := range cand {
+				if j == i {
+					continue
+				}
+				if g.at(ti, tj).degree(int32(a)) == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cnt++
+			}
+		}
+		if r := float64(cnt) / float64(total); r < pi {
+			pi = r
+		}
+		if pi < floor {
+			return pi
+		}
+	}
+	return pi
 }
 
 // aprioriGenTypes joins the prevalent sets of one level into the next
@@ -460,42 +767,46 @@ func allSubsetsPrevalent(cand []int, prevalent map[string]bool) bool {
 // expandCandidate materializes a candidate's row instances by extending
 // its (k-1)-prefix parent's rows: an instance y of the new last type
 // joins a row when y neighbors every row member, i.e. y lies in the
-// intersection of the members' adjacency lists toward the new type.
-// Because parent rows are cliques, every extended row is a clique.
-func expandCandidate(cand []int, parents map[string]*candidateSet, types []typeSet, adj adjacency) candidateSet {
+// intersection of the members' CSR rows toward the new type. Because
+// parent rows are cliques, every extended row is a clique. Rows stream
+// into one flat table preallocated from the parent's row count; the
+// intersection scratch and participation flags come pooled from the
+// worker's expander.
+func expandCandidate(e *expander, cand []int, parents map[string]*candidateSet, types []typeSet, g *neighborGraph) candidateSet {
 	k := len(cand)
 	parent := parents[typeKey(cand[:k-1])]
 	newType := cand[k-1]
+	pk := k - 1 // parent row stride
 
-	part := make([][]bool, k)
-	for i, t := range cand {
-		part[i] = make([]bool, len(types[t].geoms))
-	}
-	var rows [][]int32
-	var buf []int32
-	for _, row := range parent.rows {
-		ext := adj[cand[0]][newType][row[0]]
-		for m := 1; m < k-1 && len(ext) > 0; m++ {
-			ext = intersectSorted(ext, adj[cand[m]][newType][row[m]], buf[:0])
-			buf = ext // reuse the scratch for the next intersection
+	part := e.parts(cand, types)
+	adjFirst := g.at(cand[0], newType)
+	// Capacity hint: tables usually stay near the parent's row count
+	// (each parent row extends to a handful of instances or dies).
+	rows := make([]int32, 0, parent.nrows*k)
+	nrows := 0
+	for r := 0; r < parent.nrows; r++ {
+		row := parent.rows[r*pk : r*pk+pk]
+		ext := adjFirst.row(row[0])
+		for m := 1; m < pk && len(ext) > 0; m++ {
+			// Writing into e.buf while ext aliases it is safe: the
+			// intersection only overwrites already-consumed positions.
+			e.buf = intersectSorted(ext, g.at(cand[m], newType).row(row[m]), e.buf[:0])
+			ext = e.buf
 		}
 		if len(ext) == 0 {
-			buf = buf[:0]
 			continue
 		}
 		for _, y := range ext {
-			nr := make([]int32, k)
-			copy(nr, row)
-			nr[k-1] = y
-			rows = append(rows, nr)
+			rows = append(rows, row...)
+			rows = append(rows, y)
 			part[k-1][y] = true
 		}
+		nrows += len(ext)
 		for m, x := range row {
 			part[m][x] = true
 		}
-		buf = buf[:0]
 	}
-	if len(rows) == 0 {
+	if nrows == 0 {
 		return candidateSet{types: cand}
 	}
 	pi := 1.0
@@ -511,7 +822,7 @@ func expandCandidate(cand []int, parents map[string]*candidateSet, types []typeS
 			pi = r
 		}
 	}
-	return candidateSet{types: cand, rows: rows, pi: pi}
+	return candidateSet{types: cand, rows: rows, nrows: nrows, pi: pi}
 }
 
 // intersectSorted writes the intersection of two ascending lists into

@@ -224,6 +224,15 @@ func TestTraceCounters(t *testing.T) {
 	if tr.Counter("coloc.candidates") == 0 || tr.Counter("coloc.workers") == 0 {
 		t.Fatalf("walk counters missing: %v", tr.Counters())
 	}
+	if tr.Counter("coloc.neighbors.workers") == 0 {
+		t.Fatalf("coloc.neighbors.workers missing: %v", tr.Counters())
+	}
+	if tr.Counter("coloc.rows.peak") == 0 {
+		t.Fatalf("coloc.rows.peak missing: %v", tr.Counters())
+	}
+	if got := tr.Counter("coloc.star.pruned"); got != int64(res.StarPruned) {
+		t.Fatalf("coloc.star.pruned = %d, result says %d", got, res.StarPruned)
+	}
 }
 
 // TestConfigValidate sweeps the rejection surface.
@@ -238,25 +247,33 @@ func TestConfigValidate(t *testing.T) {
 		{Distance: 1, MinPI: math.NaN()},
 		{Distance: 1, MinPI: 0.5, MaxSize: -1},
 		{Distance: 1, MinPI: 0.5, Parallelism: -2},
+		{Distance: 1, MinPI: 0.5, Engine: "starjoin"},
+		{Distance: 1, MinPI: 0.5, TopK: -1},
 	}
 	for _, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("Validate(%+v) accepted", cfg)
 		}
 	}
-	good := colocation.Config{Distance: 0, MinPI: 1}
-	if err := good.Validate(); err != nil {
-		t.Errorf("Validate(%+v): %v", good, err)
+	for _, good := range []colocation.Config{
+		{Distance: 0, MinPI: 1},
+		{Distance: 1, MinPI: 0.5, Engine: colocation.EngineClique},
+		{Distance: 1, MinPI: 0.5, Engine: colocation.EngineJoinless, TopK: 3},
+	} {
+		if err := good.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", good, err)
+		}
 	}
 }
 
 // TestParseConfig: strictness of the wire decoder.
 func TestParseConfig(t *testing.T) {
-	cfg, err := colocation.ParseConfig([]byte(`{"distance":2,"minPI":0.4,"maxSize":3,"parallelism":2}`))
+	cfg, err := colocation.ParseConfig([]byte(`{"distance":2,"minPI":0.4,"maxSize":3,"parallelism":2,"engine":"clique","topK":5}`))
 	if err != nil {
 		t.Fatalf("ParseConfig: %v", err)
 	}
-	if cfg.Distance != 2 || cfg.MinPI != 0.4 || cfg.MaxSize != 3 || cfg.Parallelism != 2 {
+	if cfg.Distance != 2 || cfg.MinPI != 0.4 || cfg.MaxSize != 3 || cfg.Parallelism != 2 ||
+		cfg.Engine != colocation.EngineClique || cfg.TopK != 5 {
 		t.Fatalf("cfg = %+v", cfg)
 	}
 	for _, bad := range []string{
@@ -268,6 +285,8 @@ func TestParseConfig(t *testing.T) {
 		`{"distance":-2,"minPI":0.5}`,         // invalid bounds
 		`{"distance":"far","minPI":0.5}`,      // wrong type
 		`[{"distance":1,"minPI":0.5}]`,        // wrong shape
+		`{"distance":1,"minPI":0.5,"engine":"starjoin"}`, // unknown engine
+		`{"distance":1,"minPI":0.5,"topK":-3}`,           // negative topK
 	} {
 		if _, err := colocation.ParseConfig([]byte(bad)); err == nil {
 			t.Errorf("ParseConfig(%q) accepted", bad)

@@ -1,0 +1,205 @@
+package colocation_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/colocation"
+	"repro/internal/datagen"
+)
+
+// normalizeEngineResult zeroes the fields that legitimately differ
+// between engines: wall time and the joinless-only prune diagnostic.
+// Everything else — patterns, PI floats, row counts, candidate and
+// pair tallies, ordering — must match exactly.
+func normalizeEngineResult(r *colocation.Result) {
+	r.Duration = 0
+	r.StarPruned = 0
+}
+
+// TestColocationEnginesByteIdentical is the clique ≡ joinless property
+// sweep: across generated scenes × distances × minPI × Parallelism
+// ∈ {1, 4}, the two engines (each at every worker count) must produce
+// the same Result down to every field except Duration and the
+// StarPruned diagnostic. Run under -race in CI, this also exercises
+// the parallel CSR materialization and the sharded walk of both
+// engines for data races.
+func TestColocationEnginesByteIdentical(t *testing.T) {
+	scenes := []struct {
+		name string
+		cfg  datagen.ColocationSceneConfig
+	}{
+		{"default", datagen.DefaultColocationScene(19)},
+		{"clutter", datagen.ColocationSceneConfig{
+			Seed: 29, Types: []string{"a", "b", "c", "d"}, Extent: 12,
+			Clusters: 8, ClusterSpread: 0.6, Noise: 40,
+		}},
+		{"planted cliques", datagen.ColocationSceneConfig{
+			Seed: 31, Types: []string{"p", "q", "r"}, Extent: 50,
+			Clusters: 12, ClusterSpread: 0.4,
+			Planted: [][]string{{"p", "p", "q", "q", "r"}, {"q", "r"}},
+			Noise:   6,
+		}},
+	}
+	for _, sc := range scenes {
+		ds, err := datagen.GenerateColocationScene(sc.cfg)
+		if err != nil {
+			t.Fatalf("%s: generate: %v", sc.name, err)
+		}
+		for _, dist := range []float64{1, 4} {
+			for _, minPI := range []float64{0.2, 0.5} {
+				base := colocation.Config{
+					Distance: dist, MinPI: minPI,
+					Parallelism: 1, Engine: colocation.EngineClique,
+				}
+				want, err := colocation.Mine(ds, base)
+				if err != nil {
+					t.Fatalf("%s: clique/par=1: %v", sc.name, err)
+				}
+				if want.StarPruned != 0 {
+					t.Fatalf("%s: clique engine reported StarPruned=%d", sc.name, want.StarPruned)
+				}
+				normalizeEngineResult(want)
+				for _, eng := range []colocation.Engine{colocation.EngineClique, colocation.EngineJoinless} {
+					for _, par := range []int{1, 4} {
+						if eng == colocation.EngineClique && par == 1 {
+							continue // the reference run itself
+						}
+						cfg := base
+						cfg.Engine = eng
+						cfg.Parallelism = par
+						t.Run(fmt.Sprintf("%s/dist=%v/minpi=%v/%s/par=%d", sc.name, dist, minPI, eng, par), func(t *testing.T) {
+							got, err := colocation.Mine(ds, cfg)
+							if err != nil {
+								t.Fatalf("Mine: %v", err)
+							}
+							normalizeEngineResult(got)
+							if !reflect.DeepEqual(got, want) {
+								t.Fatalf("engine output diverged:\n got %+v\nwant %+v", got, want)
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJoinlessStarPrunesOnDenseScene pins that the joinless engine's
+// upper bound actually fires somewhere: on a cluttered scene with a
+// high MinPI there are candidates whose star bound rules them out, and
+// the prune must not change the mined patterns.
+func TestJoinlessStarPrunesOnDenseScene(t *testing.T) {
+	ds, err := datagen.GenerateColocationScene(datagen.ColocationSceneConfig{
+		Seed: 37, Types: []string{"a", "b", "c", "d", "e"}, Extent: 14,
+		Clusters: 6, ClusterSpread: 0.7, Noise: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := colocation.Config{Distance: 1, MinPI: 0.55, Engine: colocation.EngineJoinless}
+	got, err := colocation.Mine(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StarPruned == 0 {
+		t.Fatalf("expected the star upper bound to prune at least one candidate (candidates=%d)", got.Candidates)
+	}
+	cfg.Engine = colocation.EngineClique
+	want, err := colocation.Mine(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Prevalent, want.Prevalent) || got.Candidates != want.Candidates {
+		t.Fatalf("pruning changed output:\n got %+v (candidates=%d)\nwant %+v (candidates=%d)",
+			got.Prevalent, got.Candidates, want.Prevalent, want.Candidates)
+	}
+}
+
+// TestTopKTruncation pins the top-k contract: the k highest-PI
+// patterns survive, ties break by smaller size then name order, the
+// kept patterns stay in the walk's canonical size-then-name order, and
+// the oracle truncates identically.
+func TestTopKTruncation(t *testing.T) {
+	ds, err := datagen.GenerateColocationScene(datagen.ColocationSceneConfig{
+		Seed: 41, Types: []string{"a", "b", "c", "d"}, Extent: 30,
+		Clusters: 10, ClusterSpread: 0.4,
+		Planted: [][]string{{"a", "b", "c"}, {"c", "d"}},
+		Noise:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := colocation.Mine(ds, colocation.Config{Distance: 1, MinPI: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Prevalent) < 3 {
+		t.Fatalf("scene too sparse for a top-k test: %d prevalent", len(full.Prevalent))
+	}
+	for k := 1; k <= len(full.Prevalent)+1; k++ {
+		cfg := colocation.Config{Distance: 1, MinPI: 0.2, TopK: k}
+		got, err := colocation.Mine(ds, cfg)
+		if err != nil {
+			t.Fatalf("topK=%d: %v", k, err)
+		}
+		want := topKReference(full.Prevalent, k)
+		if !reflect.DeepEqual(got.Prevalent, want) {
+			t.Fatalf("topK=%d:\n got %+v\nwant %+v", k, got.Prevalent, want)
+		}
+		oracle, err := colocation.MineBruteForce(ds, cfg)
+		if err != nil {
+			t.Fatalf("topK=%d oracle: %v", k, err)
+		}
+		if !reflect.DeepEqual(oracle.Prevalent, want) {
+			t.Fatalf("topK=%d oracle diverged:\n got %+v\nwant %+v", k, oracle.Prevalent, want)
+		}
+	}
+}
+
+// topKReference is an independent O(n²) selection of the k best
+// patterns — by (higher PI, smaller size, lex-smaller names) — kept in
+// their original order, against which the engine's bounded heap is
+// checked.
+func topKReference(prevalent []colocation.Pattern, k int) []colocation.Pattern {
+	if k >= len(prevalent) {
+		return prevalent
+	}
+	rank := func(i int) int {
+		r := 0
+		for j := range prevalent {
+			if j == i {
+				continue
+			}
+			a, b := &prevalent[j], &prevalent[i]
+			switch {
+			case a.PI != b.PI:
+				if a.PI > b.PI {
+					r++
+				}
+			case len(a.Types) != len(b.Types):
+				if len(a.Types) < len(b.Types) {
+					r++
+				}
+			default:
+				for x := range a.Types {
+					if a.Types[x] != b.Types[x] {
+						if a.Types[x] < b.Types[x] {
+							r++
+						}
+						break
+					}
+				}
+			}
+		}
+		return r
+	}
+	out := make([]colocation.Pattern, 0, k)
+	for i := range prevalent {
+		if rank(i) < k {
+			out = append(out, prevalent[i])
+		}
+	}
+	return out
+}

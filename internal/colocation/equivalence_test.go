@@ -11,10 +11,10 @@ import (
 
 // TestColocationMatchesBruteForceOnGeneratedScenes is the property test
 // mirroring TestEnginesEquivalentOnGeneratedScenes: across generated
-// planted scenes × distances × minPI × Parallelism ∈ {1, 4}, the
-// R-tree + participation-index engine must report exactly the oracle's
-// prevalent patterns — same sets, same PI floats, same row counts, same
-// order.
+// planted scenes × distances × minPI × Parallelism ∈ {1, 4} × both
+// engines, the R-tree + participation-index engine must report exactly
+// the oracle's prevalent patterns — same sets, same PI floats, same row
+// counts, same order.
 func TestColocationMatchesBruteForceOnGeneratedScenes(t *testing.T) {
 	scenes := []struct {
 		name string
@@ -49,20 +49,23 @@ func TestColocationMatchesBruteForceOnGeneratedScenes(t *testing.T) {
 					t.Fatalf("%s: oracle: %v", sc.name, err)
 				}
 				for _, par := range []int{1, 4} {
-					cfg.Parallelism = par
-					t.Run(fmt.Sprintf("%s/dist=%v/minpi=%v/par=%d", sc.name, dist, minPI, par), func(t *testing.T) {
-						got, err := colocation.Mine(ds, cfg)
-						if err != nil {
-							t.Fatalf("Mine: %v", err)
-						}
-						if !reflect.DeepEqual(got.Prevalent, want.Prevalent) {
-							t.Fatalf("engine != oracle:\n got %+v\nwant %+v", got.Prevalent, want.Prevalent)
-						}
-						if got.Instances != want.Instances || !reflect.DeepEqual(got.Types, want.Types) {
-							t.Fatalf("world mismatch: got %d %v, want %d %v",
-								got.Instances, got.Types, want.Instances, want.Types)
-						}
-					})
+					for _, eng := range []colocation.Engine{colocation.EngineClique, colocation.EngineJoinless} {
+						cfg.Parallelism = par
+						cfg.Engine = eng
+						t.Run(fmt.Sprintf("%s/dist=%v/minpi=%v/par=%d/%s", sc.name, dist, minPI, par, eng), func(t *testing.T) {
+							got, err := colocation.Mine(ds, cfg)
+							if err != nil {
+								t.Fatalf("Mine: %v", err)
+							}
+							if !reflect.DeepEqual(got.Prevalent, want.Prevalent) {
+								t.Fatalf("engine != oracle:\n got %+v\nwant %+v", got.Prevalent, want.Prevalent)
+							}
+							if got.Instances != want.Instances || !reflect.DeepEqual(got.Types, want.Types) {
+								t.Fatalf("world mismatch: got %d %v, want %d %v",
+									got.Instances, got.Types, want.Instances, want.Types)
+							}
+						})
+					}
 				}
 			}
 		}

@@ -16,6 +16,10 @@ func FuzzColocationConfig(f *testing.F) {
 		`{"distance":2,"minPI":0.4}`,
 		`{"distance":0,"minPI":1}`,
 		`{"distance":1.5,"minPI":0.25,"maxSize":3,"parallelism":4}`,
+		`{"distance":1,"minPI":0.5,"engine":"joinless"}`,
+		`{"distance":1,"minPI":0.5,"engine":"clique","topK":2}`,
+		`{"distance":1,"minPI":0.5,"engine":"starjoin"}`,
+		`{"distance":1,"minPI":0.5,"topK":-1}`,
 		`{"distance":1e-9,"minPI":0.0001}`,
 		`{"distance":-1,"minPI":0.5}`,
 		`{"distance":1,"minPI":0.5,"unknown":true}`,

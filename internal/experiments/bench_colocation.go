@@ -12,13 +12,15 @@ import (
 )
 
 // ColocationBenchResult is one co-location mining measurement, written
-// to BENCH_colocation.json. The grid sweeps scene size × neighborhood
-// distance × minimum participation index × worker fan-out, so the perf
-// gate tracks the R-tree materialization and the parallel prevalence
-// walk separately from the transaction engines.
+// to BENCH_colocation.json. The grid sweeps scene shape × engine ×
+// worker fan-out, so the perf gate tracks the parallel CSR neighbor
+// materialization, the star-neighborhood prune, and the prevalence
+// walk separately from the transaction engines — and specifically pins
+// joinless against clique on the dense scenes where the clique
+// engine's instance tables blow up.
 type ColocationBenchResult struct {
 	// Name identifies the workload:
-	// "colocation/clusters=<c>/noise=<n>/dist=<d>/minpi=<p>/par=<w>".
+	// "colocation/scene=<s>/dist=<d>/minpi=<p>/engine=<e>/par=<w>".
 	Name string `json:"name"`
 	// N is the number of timed iterations the harness settled on.
 	N int `json:"n"`
@@ -34,33 +36,87 @@ type ColocationBenchResult struct {
 	Prevalent int `json:"prevalent"`
 	// RefinedPairs is the materialized neighbor-pair count.
 	RefinedPairs int64 `json:"refinedPairs"`
+	// StarPruned counts candidates the joinless upper bound discarded
+	// (0 on clique rows) — how much work the prune actually saved.
+	StarPruned int `json:"starPruned,omitempty"`
 }
 
-// ColocationBench measures the co-location engine over planted scenes.
-// Scenes are generated once, outside the timed region.
-func ColocationBench() ([]ColocationBenchResult, error) {
-	type sceneSpec struct {
-		clusters, noise int
+// colocationBenchScene is one benchmark scene: a generator config plus
+// the distance/minPI the grid mines it at.
+type colocationBenchScene struct {
+	name  string
+	gen   datagen.ColocationSceneConfig
+	dist  float64
+	minPI float64
+}
+
+// colocationBenchScenes is the committed workload grid. "base" and
+// "large" carry over PR 9's lattice scenes for continuity; "clutter"
+// (small extent, heavy noise — many refined pairs, dense neighbor
+// lists) and "cliques" (hot sites holding 8 instances per type —
+// multiplicative row-instance tables) are the dense scenes where
+// candidate evaluation dominates. The cliques scene is shaped so every
+// type pair is prevalent but the triple is not: the clique engine must
+// materialize the 8³-rows-per-site triple table to discover that,
+// while the joinless star bound rules it out from the CSR offsets
+// alone.
+func colocationBenchScenes() []colocationBenchScene {
+	base := datagen.DefaultColocationScene(datagen.DefaultSeed)
+	base.Clusters, base.Noise = 40, 20
+	large := datagen.DefaultColocationScene(datagen.DefaultSeed)
+	large.Clusters, large.Noise = 160, 80
+	rep := func(name string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = name
+		}
+		return out
 	}
+	hot := func(types ...string) []string {
+		var out []string
+		for _, t := range types {
+			out = append(out, rep(t, 8)...)
+		}
+		return out
+	}
+	return []colocationBenchScene{
+		{name: "base", gen: base, dist: 1, minPI: 0.2},
+		{name: "large", gen: large, dist: 4, minPI: 0.2},
+		{name: "clutter", gen: datagen.ColocationSceneConfig{
+			Seed: datagen.DefaultSeed, Types: []string{"a", "b", "c", "d", "e"},
+			Extent: 14, Clusters: 10, ClusterSpread: 0.5, Noise: 140,
+		}, dist: 1, minPI: 0.2},
+		{name: "cliques", gen: datagen.ColocationSceneConfig{
+			Seed: datagen.DefaultSeed, Types: []string{"a", "b", "c"},
+			Extent: 120, Clusters: 16, ClusterSpread: 0.4,
+			Planted: [][]string{
+				hot("a", "b"), hot("b", "c"), hot("a", "c"), hot("a", "b", "c"),
+			},
+			Noise: 4,
+		}, dist: 1, minPI: 0.5},
+	}
+}
+
+// ColocationBench measures both co-location engines over the scene
+// grid. Scenes are generated once, outside the timed region.
+func ColocationBench() ([]ColocationBenchResult, error) {
 	var out []ColocationBenchResult
-	for _, sc := range []sceneSpec{{40, 20}, {160, 80}} {
-		cfg := datagen.DefaultColocationScene(datagen.DefaultSeed)
-		cfg.Clusters = sc.clusters
-		cfg.Noise = sc.noise
-		ds, err := datagen.GenerateColocationScene(cfg)
+	for _, sc := range colocationBenchScenes() {
+		ds, err := datagen.GenerateColocationScene(sc.gen)
 		if err != nil {
 			return nil, err
 		}
-		for _, dist := range []float64{1, 4} {
-			for _, minPI := range []float64{0.2, 0.5} {
-				for _, par := range []int{1, 4} {
-					mcfg := colocation.Config{Distance: dist, MinPI: minPI, Parallelism: par}
-					res, err := benchColocationOne(ds, mcfg, sc.clusters, sc.noise)
-					if err != nil {
-						return nil, err
-					}
-					out = append(out, res)
+		for _, engine := range []colocation.Engine{colocation.EngineClique, colocation.EngineJoinless} {
+			for _, par := range []int{1, 4} {
+				mcfg := colocation.Config{
+					Distance: sc.dist, MinPI: sc.minPI,
+					Parallelism: par, Engine: engine,
 				}
+				res, err := benchColocationOne(ds, mcfg, sc.name)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, res)
 			}
 		}
 	}
@@ -68,7 +124,7 @@ func ColocationBench() ([]ColocationBenchResult, error) {
 }
 
 // benchColocationOne times one configuration under testing.Benchmark.
-func benchColocationOne(ds *dataset.Dataset, cfg colocation.Config, clusters, noise int) (ColocationBenchResult, error) {
+func benchColocationOne(ds *dataset.Dataset, cfg colocation.Config, scene string) (ColocationBenchResult, error) {
 	// One untimed run supplies the correctness anchors (and surfaces
 	// config errors before the timing loop hides them).
 	ref, err := colocation.Mine(ds, cfg)
@@ -84,8 +140,8 @@ func benchColocationOne(ds *dataset.Dataset, cfg colocation.Config, clusters, no
 		}
 	})
 	return ColocationBenchResult{
-		Name: fmt.Sprintf("colocation/clusters=%d/noise=%d/dist=%v/minpi=%v/par=%d",
-			clusters, noise, cfg.Distance, cfg.MinPI, cfg.Parallelism),
+		Name: fmt.Sprintf("colocation/scene=%s/dist=%v/minpi=%v/engine=%s/par=%d",
+			scene, cfg.Distance, cfg.MinPI, cfg.Engine, cfg.Parallelism),
 		N:            r.N,
 		NsPerOp:      float64(r.NsPerOp()),
 		AllocsPerOp:  r.AllocsPerOp(),
@@ -93,6 +149,7 @@ func benchColocationOne(ds *dataset.Dataset, cfg colocation.Config, clusters, no
 		Instances:    ref.Instances,
 		Prevalent:    len(ref.Prevalent),
 		RefinedPairs: ref.RefinedPairs,
+		StarPruned:   ref.StarPruned,
 	}, nil
 }
 

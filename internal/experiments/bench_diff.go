@@ -8,18 +8,23 @@ import (
 	"sort"
 )
 
-// DiffTolerance is the relative ns/op regression the bench gate
-// accepts before failing: re-measured workloads may be up to 25%
-// slower than the committed baseline. Generous by design — shared CI
-// runners jitter — while still catching order-of-magnitude
+// DiffTolerance is the relative ns/op (and allocs/op) regression the
+// bench gate accepts before failing: re-measured workloads may be up
+// to 25% worse than the committed baseline. Generous by design —
+// shared CI runners jitter — while still catching order-of-magnitude
 // regressions like a dropped index or an accidental O(n²) path.
+// Allocation counts jitter far less than wall time, so the same
+// tolerance is tight in practice on the allocs axis.
 const DiffTolerance = 0.25
 
 // benchRow is the subset of a benchmark record the gate compares on;
-// both BENCH_mining.json and BENCH_extract.json rows decode into it.
+// BENCH_mining.json, BENCH_extract.json, and BENCH_colocation.json
+// rows all decode into it. AllocsPerOp is optional — suites that
+// predate allocation tracking have 0 there and skip the allocs gate.
 type benchRow struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"nsPerOp"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
 }
 
 // DiffFinding is one workload's baseline-versus-measured comparison.
@@ -32,8 +37,19 @@ type DiffFinding struct {
 	MeasuredNs float64
 	// Ratio is MeasuredNs / BaselineNs.
 	Ratio float64
-	// Regressed marks workloads above the tolerance.
+	// Regressed marks workloads above the wall-time tolerance.
 	Regressed bool
+	// BaselineAllocs and MeasuredAllocs are the committed and
+	// re-measured allocs/op (0 when the suite does not record them).
+	BaselineAllocs int64
+	MeasuredAllocs int64
+	// AllocsRatio is MeasuredAllocs / BaselineAllocs (0 when the
+	// baseline records no allocations).
+	AllocsRatio float64
+	// AllocsRegressed marks workloads whose allocation count grew past
+	// the tolerance — a leak of per-row or per-candidate allocations
+	// regresses the gate even when wall time hides it.
+	AllocsRegressed bool
 	// Missing marks baseline workloads the fresh run no longer
 	// produces (a renamed or dropped row also fails the gate: silently
 	// losing coverage is a regression too).
@@ -41,9 +57,9 @@ type DiffFinding struct {
 }
 
 // BenchDiff re-measures a benchmark suite and compares it against a
-// committed baseline file. New workloads absent from the baseline pass
-// (they gate once committed); baseline workloads missing from the
-// fresh run fail.
+// committed baseline file on both wall time and allocation count. New
+// workloads absent from the baseline pass (they gate once committed);
+// baseline workloads missing from the fresh run fail.
 func BenchDiff(baselinePath string, fresh []byte) ([]DiffFinding, error) {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -56,9 +72,9 @@ func BenchDiff(baselinePath string, fresh []byte) ([]DiffFinding, error) {
 	if err := json.Unmarshal(fresh, &measured); err != nil {
 		return nil, fmt.Errorf("bench diff: parsing fresh run: %w", err)
 	}
-	byName := make(map[string]float64, len(measured))
+	byName := make(map[string]benchRow, len(measured))
 	for _, m := range measured {
-		byName[m.Name] = m.NsPerOp
+		byName[m.Name] = m
 	}
 	var out []DiffFinding
 	for _, b := range baseline {
@@ -67,30 +83,37 @@ func BenchDiff(baselinePath string, fresh []byte) ([]DiffFinding, error) {
 			out = append(out, DiffFinding{Name: b.Name, BaselineNs: b.NsPerOp, Missing: true})
 			continue
 		}
-		ratio := 0.0
-		if b.NsPerOp > 0 {
-			ratio = got / b.NsPerOp
+		f := DiffFinding{
+			Name:           b.Name,
+			BaselineNs:     b.NsPerOp,
+			MeasuredNs:     got.NsPerOp,
+			BaselineAllocs: b.AllocsPerOp,
+			MeasuredAllocs: got.AllocsPerOp,
 		}
-		out = append(out, DiffFinding{
-			Name:       b.Name,
-			BaselineNs: b.NsPerOp,
-			MeasuredNs: got,
-			Ratio:      ratio,
-			Regressed:  ratio > 1+DiffTolerance,
-		})
+		if b.NsPerOp > 0 {
+			f.Ratio = got.NsPerOp / b.NsPerOp
+			f.Regressed = f.Ratio > 1+DiffTolerance
+		}
+		if b.AllocsPerOp > 0 {
+			f.AllocsRatio = float64(got.AllocsPerOp) / float64(b.AllocsPerOp)
+			f.AllocsRegressed = f.AllocsRatio > 1+DiffTolerance
+		}
+		out = append(out, f)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
 }
 
 // FormatDiff renders the findings as an aligned report and reports
-// whether any workload regressed or went missing.
+// whether any workload regressed (wall time or allocations) or went
+// missing.
 func FormatDiff(w io.Writer, findings []DiffFinding) (failed bool) {
 	for _, f := range findings {
 		switch {
 		case f.Missing:
 			fmt.Fprintf(w, "MISSING  %-55s baseline %.0f ns/op, absent from fresh run\n", f.Name, f.BaselineNs)
 			failed = true
+			continue
 		case f.Regressed:
 			fmt.Fprintf(w, "REGRESS  %-55s %.0f -> %.0f ns/op (%.2fx, tolerance %.2fx)\n",
 				f.Name, f.BaselineNs, f.MeasuredNs, f.Ratio, 1+DiffTolerance)
@@ -98,6 +121,11 @@ func FormatDiff(w io.Writer, findings []DiffFinding) (failed bool) {
 		default:
 			fmt.Fprintf(w, "ok       %-55s %.0f -> %.0f ns/op (%.2fx)\n",
 				f.Name, f.BaselineNs, f.MeasuredNs, f.Ratio)
+		}
+		if f.AllocsRegressed {
+			fmt.Fprintf(w, "ALLOCS   %-55s %d -> %d allocs/op (%.2fx, tolerance %.2fx)\n",
+				f.Name, f.BaselineAllocs, f.MeasuredAllocs, f.AllocsRatio, 1+DiffTolerance)
+			failed = true
 		}
 	}
 	return failed

@@ -70,6 +70,43 @@ func TestBenchDiffGate(t *testing.T) {
 		t.Errorf("1.249x is inside the %.2f tolerance:\n%s", DiffTolerance, sb2.String())
 	}
 
+	// Allocation growth past the tolerance fails even when wall time
+	// improves; within tolerance passes; baselines without allocs/op
+	// never gate on that axis.
+	write(`[
+		{"name":"w/leak","nsPerOp":1000,"allocsPerOp":100},
+		{"name":"w/lean","nsPerOp":1000,"allocsPerOp":100},
+		{"name":"w/untracked","nsPerOp":1000}
+	]`)
+	findings, err = BenchDiff(baseline, []byte(`[
+		{"name":"w/leak","nsPerOp":500,"allocsPerOp":126},
+		{"name":"w/lean","nsPerOp":1000,"allocsPerOp":125},
+		{"name":"w/untracked","nsPerOp":1000,"allocsPerOp":999999}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName = map[string]DiffFinding{}
+	for _, f := range findings {
+		byName[f.Name] = f
+	}
+	if f := byName["w/leak"]; !f.AllocsRegressed || f.Regressed {
+		t.Errorf("leak must regress on allocs only: %+v", f)
+	}
+	if f := byName["w/lean"]; f.AllocsRegressed {
+		t.Errorf("1.25x allocs is inside the tolerance: %+v", f)
+	}
+	if f := byName["w/untracked"]; f.AllocsRegressed {
+		t.Errorf("untracked baseline must not gate allocs: %+v", f)
+	}
+	var sb3 strings.Builder
+	if !FormatDiff(&sb3, findings) {
+		t.Error("FormatDiff must report the allocation regression")
+	}
+	if !strings.Contains(sb3.String(), "ALLOCS") {
+		t.Errorf("report missing ALLOCS line:\n%s", sb3.String())
+	}
+
 	if _, err := BenchDiff(filepath.Join(dir, "nope.json"), fresh); err == nil {
 		t.Error("missing baseline must error")
 	}

@@ -207,4 +207,68 @@ func TestColocateCacheKeyDisjoint(t *testing.T) {
 	if same != colocKey {
 		t.Fatalf("identical configs key differently: %q vs %q", same, colocKey)
 	}
+	// TopK changes the served patterns, so it must fork the key.
+	topk, err := ColocateCacheKey("d", colocation.Config{Distance: 1, MinPI: 0.5, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topk == colocKey {
+		t.Fatalf("topK config shares key %q with the unbounded config", topk)
+	}
+}
+
+// TestColocateCacheKeyIgnoresEngine: the Engine knob selects a
+// strategy, not a result, so every engine spelling of one config maps
+// to a single cache entry.
+func TestColocateCacheKeyIgnoresEngine(t *testing.T) {
+	base, err := ColocateCacheKey("d", colocation.Config{Distance: 1, MinPI: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []colocation.Engine{colocation.EngineClique, colocation.EngineJoinless} {
+		key, err := ColocateCacheKey("d", colocation.Config{Distance: 1, MinPI: 0.5, Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != base {
+			t.Fatalf("engine %q forked the cache key: %q vs %q", eng, key, base)
+		}
+	}
+}
+
+// TestColocateEngineSharesCacheEntry: end to end, a clique request
+// followed by a joinless request of the same config is one engine run
+// and one cache entry — the second POST is a counter-verified cache
+// hit with an identical body.
+func TestColocateEngineSharesCacheEntry(t *testing.T) {
+	s := New(Options{})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	info := uploadSampleScene(t, ts.Client(), ts.URL+"/v1")
+
+	cfg := colocation.Config{Distance: 3, MinPI: 0.2, Engine: colocation.EngineClique}
+	var first api.MineResponse
+	status, raw := doJSON(t, ts.Client(), "POST", ts.URL+"/v1/colocate", colocateBody(t, info.Digest, cfg), &first)
+	if status != http.StatusOK {
+		t.Fatalf("clique colocate: %d %s", status, raw)
+	}
+	runs := s.trace.Counter("server.colocate.runs")
+
+	cfg.Engine = colocation.EngineJoinless
+	var second api.MineResponse
+	status, raw = doJSON(t, ts.Client(), "POST", ts.URL+"/v1/colocate", colocateBody(t, info.Digest, cfg), &second)
+	if status != http.StatusOK {
+		t.Fatalf("joinless colocate: %d %s", status, raw)
+	}
+	if !second.Cached {
+		t.Fatalf("joinless request after clique run not served from cache: %s", raw)
+	}
+	if got := s.trace.Counter("server.colocate.runs"); got != runs {
+		t.Fatalf("engine switch re-ran the miner: runs %d -> %d", runs, got)
+	}
+	second.Cached = false
+	if !reflect.DeepEqual(second, first) {
+		t.Fatalf("engines served different bodies:\n clique %+v\njoinless %+v", first, second)
+	}
 }

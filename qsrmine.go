@@ -367,13 +367,25 @@ var (
 // pipeline (every layer a peer type, no extraction, no transactions).
 type (
 	// ColocationConfig parameterises a co-location run (distance, minPI,
-	// optional maxSize and parallelism); its JSON form is the wire
-	// configuration of POST /v1/colocate.
+	// optional maxSize, parallelism, engine, and topK); its JSON form is
+	// the wire configuration of POST /v1/colocate.
 	ColocationConfig = colocation.Config
+	// ColocationEngine selects the candidate-evaluation strategy
+	// (joinless or clique); both return identical results.
+	ColocationEngine = colocation.Engine
 	// ColocationResult is a co-location run's output.
 	ColocationResult = colocation.Result
 	// ColocationPattern is one prevalent co-location.
 	ColocationPattern = colocation.Pattern
+)
+
+// Co-location engines.
+const (
+	// ColocationJoinless screens candidates with the star-participation
+	// upper bound before materializing row instances (the default).
+	ColocationJoinless = colocation.EngineJoinless
+	// ColocationClique materializes every candidate's row table.
+	ColocationClique = colocation.EngineClique
 )
 
 var (
